@@ -1,0 +1,307 @@
+// Package odyssey_test holds the benchmark harness: one testing.B benchmark
+// per table and figure of the paper's evaluation, each regenerating the
+// corresponding result from the simulated testbed and reporting the
+// headline quantities as custom metrics. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Figures can also be printed in full with cmd/odyssey-sim.
+package odyssey_test
+
+import (
+	"testing"
+	"time"
+
+	"odyssey/internal/app/env"
+	"odyssey/internal/app/video"
+	"odyssey/internal/experiment"
+	"odyssey/internal/powerscope"
+	"odyssey/internal/sim"
+)
+
+// benchTrials keeps each benchmark iteration affordable; cmd/odyssey-sim
+// runs the full five- and ten-trial sweeps.
+const benchTrials = 2
+
+// reportSavings records a bar's savings range versus a reference bar as
+// benchmark metrics (percent).
+func reportSavings(b *testing.B, g *experiment.Grid, label string, bar, ref int) {
+	b.Helper()
+	lo, hi := g.SavingsRange(bar, ref)
+	b.ReportMetric(lo*100, label+"_min_%")
+	b.ReportMetric(hi*100, label+"_max_%")
+}
+
+// BenchmarkFigure2Profile regenerates the PowerScope example profile.
+func BenchmarkFigure2Profile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		prof := experiment.Figure2(int64(i + 1))
+		b.ReportMetric(prof.TotalEnergy, "profile_J")
+	}
+}
+
+// BenchmarkFigure4Components regenerates the component power table.
+func BenchmarkFigure4Components(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.Figure4()
+		b.ReportMetric(float64(len(t.Rows)), "rows")
+	}
+}
+
+// BenchmarkFigure6Video regenerates the video fidelity experiment.
+func BenchmarkFigure6Video(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := experiment.Figure6(benchTrials)
+		reportSavings(b, g, "hwonly_vs_base", 1, 0)
+		reportSavings(b, g, "combined_vs_hwonly", g.BarIndex(experiment.BarCombined), 1)
+	}
+}
+
+// BenchmarkFigure8Speech regenerates the speech recognition experiment.
+func BenchmarkFigure8Speech(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := experiment.Figure8(benchTrials)
+		reportSavings(b, g, "hwonly_vs_base", 1, 0)
+		reportSavings(b, g, "hybridreduced_vs_hwonly", g.BarIndex(experiment.BarHybridReduced), 1)
+	}
+}
+
+// BenchmarkFigure10Map regenerates the map viewer experiment.
+func BenchmarkFigure10Map(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := experiment.Figure10(benchTrials)
+		reportSavings(b, g, "hwonly_vs_base", 1, 0)
+		reportSavings(b, g, "combined_vs_hwonly", g.BarIndex(experiment.BarCroppedSecondary), 1)
+	}
+}
+
+// BenchmarkFigure11ThinkTime regenerates the map think-time sweep and
+// reports the fitted slopes of the linear model E_t = E_0 + t*P_B.
+func BenchmarkFigure11ThinkTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiment.Figure11(benchTrials)
+		b.ReportMetric(s.SlopeW[0], "baseline_slope_W")
+		b.ReportMetric(s.SlopeW[1], "hwonly_slope_W")
+		b.ReportMetric(s.SlopeW[2], "lowest_slope_W")
+	}
+}
+
+// BenchmarkFigure13Web regenerates the Web browsing experiment.
+func BenchmarkFigure13Web(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := experiment.Figure13(benchTrials)
+		reportSavings(b, g, "hwonly_vs_base", 1, 0)
+		reportSavings(b, g, "jpeg5_vs_hwonly", g.BarIndex("JPEG-5"), 1)
+	}
+}
+
+// BenchmarkFigure14ThinkTime regenerates the Web think-time sweep.
+func BenchmarkFigure14ThinkTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiment.Figure14(benchTrials)
+		b.ReportMetric(s.SlopeW[0], "baseline_slope_W")
+		b.ReportMetric(s.SlopeW[1], "hwonly_slope_W")
+	}
+}
+
+// BenchmarkFigure15Concurrency regenerates the concurrency experiment and
+// reports the extra energy of concurrent execution per case.
+func BenchmarkFigure15Concurrency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs := experiment.Figure15(benchTrials)
+		b.ReportMetric(rs[0].ExtraEnergyFraction()*100, "baseline_extra_%")
+		b.ReportMetric(rs[1].ExtraEnergyFraction()*100, "hwonly_extra_%")
+		b.ReportMetric(rs[2].ExtraEnergyFraction()*100, "lowest_extra_%")
+	}
+}
+
+// BenchmarkFigure16Summary regenerates the normalized summary table and
+// reports the paper's headline means.
+func BenchmarkFigure16Summary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiment.Figure16(1)
+		b.ReportMetric(s.MeanFidelity, "mean_fidelity_norm")
+		b.ReportMetric(s.MeanCombined, "mean_combined_norm")
+	}
+}
+
+// BenchmarkFigure18Zoned regenerates the zoned-backlighting projection.
+func BenchmarkFigure18Zoned(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiment.Figure18(1)
+		v := rows[0]
+		rel8 := 1 - (v.Combined[2][0]+v.Combined[2][1])/(v.Combined[0][0]+v.Combined[0][1])
+		b.ReportMetric(rel8*100, "video_lowest_8zone_saving_%")
+	}
+}
+
+// BenchmarkFigure19Trace regenerates the goal-directed adaptation traces.
+func BenchmarkFigure19Trace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs := experiment.Figure19()
+		met := 0.0
+		for _, r := range rs {
+			if r.Met {
+				met++
+			}
+		}
+		b.ReportMetric(met/float64(len(rs))*100, "goals_met_%")
+		b.ReportMetric(float64(len(rs[0].Trace)), "trace_points")
+	}
+}
+
+// BenchmarkFigure20Goals regenerates the goal-directed summary.
+func BenchmarkFigure20Goals(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiment.Figure20(benchTrials)
+		met, residual := 0.0, 0.0
+		for _, r := range rows {
+			met += r.MetPct / float64(len(rows))
+			residual += r.Residual.Mean / float64(len(rows))
+		}
+		b.ReportMetric(met, "goals_met_%")
+		b.ReportMetric(residual, "mean_residual_J")
+	}
+}
+
+// BenchmarkFigure21HalfLife regenerates the half-life sensitivity table.
+func BenchmarkFigure21HalfLife(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiment.Figure21(benchTrials)
+		b.ReportMetric(rows[0].Residual.Mean, "hl1%_residual_J")
+		b.ReportMetric(rows[2].Residual.Mean, "hl10%_residual_J")
+	}
+}
+
+// BenchmarkFigure22Bursty regenerates the longer-duration bursty trials.
+func BenchmarkFigure22Bursty(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs := experiment.Figure22(1)
+		met := 0.0
+		for _, r := range rs {
+			if r.Met {
+				met++
+			}
+		}
+		b.ReportMetric(met/float64(len(rs))*100, "goals_met_%")
+	}
+}
+
+// BenchmarkAblations runs the design-choice ablations of DESIGN.md.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiment.Ablations(1)
+		b.ReportMetric(rows[0].Adaptations.Mean, "paper_adaptations")
+		b.ReportMetric(rows[2].Adaptations.Mean, "nohysteresis_adaptations")
+		b.ReportMetric(rows[3].Adaptations.Mean, "uncapped_adaptations")
+	}
+}
+
+// BenchmarkGoalRuntimeBand measures the feasible battery-life band the
+// goal-directed engine works within (paper: 19:27 to 27:06).
+func BenchmarkGoalRuntimeBand(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hi := experiment.RuntimeAtFixedFidelity(int64(i+1), experiment.Figure20InitialEnergy, false)
+		lo := experiment.RuntimeAtFixedFidelity(int64(i+1), experiment.Figure20InitialEnergy, true)
+		b.ReportMetric(hi.Seconds(), "highest_fidelity_s")
+		b.ReportMetric(lo.Seconds(), "lowest_fidelity_s")
+		b.ReportMetric((lo.Seconds()/hi.Seconds()-1)*100, "extension_%")
+	}
+	_ = time.Second
+}
+
+// ---------------------------------------------------------------------------
+// Simulator performance benchmarks: how fast the substrate itself runs.
+// These are conventional micro-benchmarks (ns/op meaningful), unlike the
+// figure benchmarks above whose value is the reported metrics.
+
+// BenchmarkKernelEvents measures raw event dispatch throughput.
+func BenchmarkKernelEvents(b *testing.B) {
+	k := sim.NewKernel(1)
+	for i := 0; i < b.N; i++ {
+		k.After(time.Duration(i%1000)*time.Microsecond, func() {})
+	}
+	b.ResetTimer()
+	k.Run(0)
+}
+
+// BenchmarkProcessSwitch measures the process handshake cost.
+func BenchmarkProcessSwitch(b *testing.B) {
+	k := sim.NewKernel(1)
+	k.Spawn("p", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	k.Run(0)
+}
+
+// BenchmarkPSResource measures processor-sharing bookkeeping with a
+// churning job set: 64 jobs run concurrently, and each completion enqueues
+// the next, so cost stays linear in b.N (the per-event work is O(active
+// jobs), which this keeps bounded).
+func BenchmarkPSResource(b *testing.B) {
+	k := sim.NewKernel(1)
+	r := sim.NewPSResource(k, "cpu", 1000.0)
+	remaining := b.N
+	var enqueue func()
+	enqueue = func() {
+		if remaining <= 0 {
+			return
+		}
+		remaining--
+		r.UseAsync("x", 0.5+float64(remaining%7), enqueue)
+	}
+	b.ResetTimer()
+	for i := 0; i < 64 && remaining > 0; i++ {
+		enqueue()
+	}
+	k.Run(0)
+}
+
+// BenchmarkVideoPlaybackSim measures full-stack simulation speed: one
+// 60-second clip per iteration, reporting the virtual-to-wall speedup.
+func BenchmarkVideoPlaybackSim(b *testing.B) {
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		rig := env.NewRig(int64(i+1), 1)
+		rig.EnablePowerMgmt()
+		clip := video.Clip{Name: "bench", Length: 60 * time.Second}
+		rig.K.Spawn("w", func(p *sim.Proc) {
+			video.PlayTrack(rig, p, clip, func() video.Track { return video.TrackBase })
+		})
+		rig.K.Run(0)
+	}
+	wall := time.Since(start).Seconds()
+	if wall > 0 {
+		b.ReportMetric(float64(b.N)*60/wall, "simsec/sec")
+	}
+}
+
+// BenchmarkGoalRunSim measures one complete 20-minute goal-directed run
+// per iteration (monitor at 10 Hz, four applications, full workload).
+func BenchmarkGoalRunSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.RunGoal(experiment.GoalOptions{
+			Seed:          int64(i + 1),
+			InitialEnergy: experiment.Figure20InitialEnergy,
+			Goal:          20 * time.Minute,
+		})
+		if !r.Met {
+			b.Fatal("goal missed during benchmark")
+		}
+	}
+}
+
+// BenchmarkPowerScopeSampling measures profiler overhead at 600 Hz.
+func BenchmarkPowerScopeSampling(b *testing.B) {
+	rig := env.NewRig(1, 1)
+	pf := powerscope.NewProfiler(rig.K, rig.M.Acct, 1666*time.Microsecond, 0)
+	pf.Start()
+	horizon := time.Duration(b.N) * 1666 * time.Microsecond
+	rig.K.At(horizon+time.Millisecond, func() { rig.K.Stop() })
+	b.ResetTimer()
+	rig.K.Run(0)
+	pf.Stop()
+}

@@ -1,0 +1,103 @@
+// Command battery-goal demonstrates goal-directed energy adaptation: given
+// an initial energy supply and a battery-duration goal, it runs the
+// concurrent workload (background video plus a composite speech/web/map
+// application) under Odyssey's direction and reports whether the goal was
+// met, the residual energy, the adaptations performed, and a supply/demand
+// trace.
+//
+// Usage:
+//
+//	battery-goal -joules 22650 -goal 24m [-trace trace.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"odyssey/internal/experiment"
+	"odyssey/internal/textplot"
+)
+
+func main() {
+	joules := flag.Float64("joules", experiment.Figure20InitialEnergy, "initial energy supply (J)")
+	goal := flag.Duration("goal", 0, "battery-duration goal (e.g. 24m); 0 prints the feasible band")
+	bursty := flag.Bool("bursty", false, "use the stochastic bursty workload")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	traceFile := flag.String("trace", "", "write the supply/demand/fidelity trace as CSV")
+	flag.Parse()
+
+	if *goal == 0 {
+		hi := experiment.RuntimeAtFixedFidelity(*seed, *joules, false)
+		lo := experiment.RuntimeAtFixedFidelity(*seed, *joules, true)
+		fmt.Printf("Feasible battery-duration band for %.0f J:\n", *joules)
+		fmt.Printf("  highest fidelity: %v\n", hi.Round(1e9))
+		fmt.Printf("  lowest fidelity:  %v\n", lo.Round(1e9))
+		fmt.Printf("Goals within this band can be met by adaptation (a %.0f%% extension).\n",
+			(lo.Seconds()/hi.Seconds()-1)*100)
+		return
+	}
+
+	r := experiment.RunGoal(experiment.GoalOptions{
+		Seed:          *seed,
+		InitialEnergy: *joules,
+		Goal:          *goal,
+		Bursty:        *bursty,
+		RecordTrace:   true,
+	})
+	status := "MET"
+	if !r.Met {
+		status = "NOT MET"
+	}
+	fmt.Printf("Goal %v: %s (ran %v, residual %.0f J = %.1f%% of supply)\n",
+		*goal, status, r.EndTime.Round(1e9), r.Residual, r.Residual / *joules * 100)
+	if len(r.Trace) > 1 {
+		chart := textplot.New("Supply and predicted demand", 64, 12)
+		chart.XLabel = "seconds"
+		var ts, supply, demand []float64
+		for _, tp := range r.Trace {
+			ts = append(ts, tp.Time.Seconds())
+			supply = append(supply, tp.Supply)
+			demand = append(demand, tp.Demand)
+		}
+		chart.Add(textplot.Series{Name: "supply (J)", X: ts, Y: supply})
+		chart.Add(textplot.Series{Name: "demand (J)", X: ts, Y: demand})
+		fmt.Println(chart.String())
+	}
+	fmt.Println("Adaptations directed by Odyssey:")
+	names := make([]string, 0, len(r.Adaptations))
+	for n := range r.Adaptations {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-8s %d\n", n, r.Adaptations[n])
+	}
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		apps := make([]string, 0)
+		if len(r.Trace) > 0 {
+			for n := range r.Trace[0].Levels {
+				apps = append(apps, n)
+			}
+			sort.Strings(apps)
+		}
+		fmt.Fprintf(f, "t_seconds,supply_j,demand_j,%s\n", strings.Join(apps, ","))
+		for _, tp := range r.Trace {
+			row := fmt.Sprintf("%.1f,%.1f,%.1f", tp.Time.Seconds(), tp.Supply, tp.Demand)
+			for _, a := range apps {
+				row += fmt.Sprintf(",%d", tp.Levels[a])
+			}
+			fmt.Fprintln(f, row)
+		}
+		fmt.Printf("Trace written to %s (%d points)\n", *traceFile, len(r.Trace))
+	}
+}

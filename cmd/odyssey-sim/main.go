@@ -1,0 +1,191 @@
+// Command odyssey-sim regenerates the tables and figures of "Energy-aware
+// adaptation for mobile applications" (SOSP '99) from the simulated
+// testbed.
+//
+// Usage:
+//
+//	odyssey-sim -figure fig6 [-trials 5]
+//	odyssey-sim -figure all
+//
+// Figure ids: fig2 fig4 fig6 fig8 fig10 fig11 fig13 fig14 fig15 fig16
+// fig18 fig19 fig20 fig21 fig22 — plus "ablations" (design-choice
+// ablations), "measurement" (multimeter vs SmartBattery paths), and
+// "check" (the validation scorecard; exits nonzero on failures).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"odyssey/internal/experiment"
+	"odyssey/internal/textplot"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "figure id to regenerate (fig2..fig22, or 'all')")
+	trials := flag.Int("trials", 5, "trials per measurement")
+	breakdown := flag.Bool("breakdown", false, "also print per-software-component breakdowns")
+	csvOut := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	flag.Parse()
+	emitCSV = *csvOut
+
+	ids := []string{"fig2", "fig4", "fig6", "fig8", "fig10", "fig11", "fig13", "fig14", "fig15", "fig16", "fig18", "fig19", "fig20", "fig21", "fig22", "ablations", "measurement", "dvs", "quality", "policy", "check"}
+	want := strings.Split(*figure, ",")
+	if *figure == "all" {
+		want = ids
+	}
+	known := map[string]bool{}
+	for _, id := range ids {
+		known[id] = true
+	}
+	for _, id := range want {
+		if !known[id] {
+			fmt.Fprintf(os.Stderr, "unknown figure %q; known: %s\n", id, strings.Join(ids, " "))
+			os.Exit(2)
+		}
+	}
+	for _, id := range want {
+		run(id, *trials, *breakdown)
+		fmt.Println()
+	}
+}
+
+// emitCSV switches table rendering to CSV.
+var emitCSV bool
+
+// render prints a table in the selected format.
+func render(t *experiment.Table) {
+	if emitCSV {
+		if t.Title != "" {
+			fmt.Println("# " + t.Title)
+		}
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Println(t.String())
+}
+
+func run(id string, trials int, breakdown bool) {
+	switch id {
+	case "fig2":
+		fmt.Println("Figure 2: PowerScope energy profile of 30 s of video playback")
+		fmt.Println(experiment.Figure2(1).String())
+	case "fig4":
+		render(experiment.Figure4())
+	case "fig6":
+		printGrid(experiment.Figure6(trials), breakdown)
+	case "fig8":
+		printGrid(experiment.Figure8(trials), breakdown)
+	case "fig10":
+		printGrid(experiment.Figure10(trials), breakdown)
+	case "fig11":
+		fmt.Println("Figure 11: effect of user think time for map viewing (San Jose)")
+		render(experiment.Figure11(trials).Table())
+	case "fig13":
+		printGrid(experiment.Figure13(trials), breakdown)
+	case "fig14":
+		fmt.Println("Figure 14: effect of user think time for Web browsing (Image 1)")
+		render(experiment.Figure14(trials).Table())
+	case "fig15":
+		render(experiment.ConcurrencyTable(experiment.Figure15(trials)))
+	case "fig16":
+		render(experiment.Figure16(min(trials, 3)).Table())
+	case "fig18":
+		render(experiment.ZonedTable(experiment.Figure18(min(trials, 3))))
+	case "fig19":
+		printTraces(experiment.Figure19())
+	case "fig20":
+		render(experiment.GoalTable("Figure 20: summary of goal-directed adaptation (5 trials per goal)", experiment.Figure20(trials)))
+	case "fig21":
+		render(experiment.HalfLifeTable(experiment.Figure21(trials)))
+	case "fig22":
+		render(experiment.BurstyTable(experiment.Figure22(trials)))
+	case "ablations":
+		render(experiment.AblationTable(experiment.Ablations(trials)))
+	case "measurement":
+		render(experiment.MeasurementTable(experiment.MeasurementPaths(trials)))
+	case "dvs":
+		render(experiment.DVSTable(experiment.DVSPaths(trials)))
+	case "quality":
+		render(experiment.QualityTable(experiment.QualityEnergy(min(trials, 3))))
+	case "policy":
+		render(experiment.PolicyTable(experiment.DecentralizedComparison(min(trials, 3))))
+	case "check":
+		rs := experiment.Validate(min(trials, 3))
+		render(experiment.ValidationTable(rs))
+		failed := 0
+		for _, r := range rs {
+			if !r.Pass {
+				failed++
+			}
+		}
+		fmt.Printf("%d/%d checks passed\n", len(rs)-failed, len(rs))
+		if failed > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+func printGrid(g *experiment.Grid, breakdown bool) {
+	render(g.Table())
+	if emitCSV {
+		return
+	}
+	fmt.Println("Savings relative to baseline (bar 1) and hardware-only power management (bar 2):")
+	for bi := 1; bi < len(g.Bars); bi++ {
+		lo, hi := g.SavingsRange(bi, 0)
+		lo2, hi2 := g.SavingsRange(bi, 1)
+		fmt.Printf("  %-30s vs baseline: %5.1f%%..%5.1f%%   vs hw-only: %5.1f%%..%5.1f%%\n",
+			g.Bars[bi], lo*100, hi*100, lo2*100, hi2*100)
+	}
+	if breakdown {
+		for oi := range g.Objects {
+			fmt.Println()
+			render(g.BreakdownTable(oi))
+		}
+	}
+}
+
+// printTraces emits the Figure 19 series: an ASCII supply/demand chart plus
+// a downsampled table of per-application fidelity levels.
+func printTraces(results []experiment.GoalResult) {
+	for _, r := range results {
+		fmt.Printf("Figure 19 trace: goal %v (met=%v, residual %.0f J)\n", r.Goal, r.Met, r.Residual)
+		chart := textplot.New("", 64, 12)
+		chart.XLabel = "seconds"
+		var ts, supply, demand []float64
+		for _, tp := range r.Trace {
+			ts = append(ts, tp.Time.Seconds())
+			supply = append(supply, tp.Supply)
+			demand = append(demand, tp.Demand)
+		}
+		chart.Add(textplot.Series{Name: "supply (J)", X: ts, Y: supply})
+		chart.Add(textplot.Series{Name: "demand (J)", X: ts, Y: demand})
+		fmt.Println(chart.String())
+		fmt.Printf("%8s %10s %10s  %s\n", "t (s)", "supply (J)", "demand (J)", "levels")
+		step := len(r.Trace) / 24
+		if step == 0 {
+			step = 1
+		}
+		for i := 0; i < len(r.Trace); i += step {
+			tp := r.Trace[i]
+			apps := make([]string, 0, len(tp.Levels))
+			for name := range tp.Levels {
+				apps = append(apps, name)
+			}
+			sort.Strings(apps)
+			lv := make([]string, 0, len(apps))
+			for _, a := range apps {
+				lv = append(lv, fmt.Sprintf("%s=%d", a, tp.Levels[a]))
+			}
+			fmt.Printf("%8.0f %10.0f %10.0f  %s\n",
+				tp.Time.Seconds(), tp.Supply, tp.Demand, strings.Join(lv, " "))
+		}
+		fmt.Println()
+	}
+	_ = time.Second
+}

@@ -1,0 +1,125 @@
+// Command powerscope profiles a workload on the simulated testbed and
+// prints the two-stage energy profile (the paper's Figure 2 format): total
+// energy by process, then per-procedure detail.
+//
+// Usage:
+//
+//	powerscope [-workload video|speech|map|web|composite] [-seconds 30] [-seed 1]
+//	powerscope -workload composite -diff-against video   # profile both, print the delta
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"odyssey/internal/app/env"
+	"odyssey/internal/app/mapview"
+	"odyssey/internal/app/speech"
+	"odyssey/internal/app/video"
+	"odyssey/internal/app/web"
+	"odyssey/internal/powerscope"
+	"odyssey/internal/sim"
+	"odyssey/internal/workload"
+)
+
+func main() {
+	workloadName := flag.String("workload", "video", "workload to profile: video, speech, map, web, composite")
+	seconds := flag.Int("seconds", 30, "profiling duration (virtual seconds)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	mgmt := flag.Bool("power-mgmt", true, "enable hardware power management")
+	symbols := flag.Bool("symbols", false, "also print the symbol table")
+	diffAgainst := flag.String("diff-against", "", "also profile this workload and print the per-process energy delta")
+	flag.Parse()
+
+	prof := profileWorkload(*workloadName, *seconds, *seed, *mgmt, *symbols)
+	if *diffAgainst != "" {
+		before := profileWorkload(*diffAgainst, *seconds, *seed, *mgmt, false)
+		fmt.Printf("Energy delta: %s -> %s\n\n", *diffAgainst, *workloadName)
+		fmt.Println(powerscope.Diff(before, prof).String())
+	}
+}
+
+// profileWorkload runs one workload under the profiler and prints (and
+// returns) its energy profile.
+func profileWorkload(workloadName string, seconds int, seed int64, mgmt, symbols bool) *powerscope.EnergyProfile {
+
+	rig := env.NewRig(seed, 1)
+	if mgmt {
+		rig.EnablePowerMgmt()
+	}
+	pf := powerscope.NewProfiler(rig.K, rig.M.Acct, 1666*time.Microsecond, 150*time.Microsecond)
+
+	paths := map[int]string{powerscope.KernelPID: powerscope.KernelBinary}
+	register := func(principal, path string) {
+		p := pf.SysMon.Register(principal, path)
+		p.Exec(pf.Symbols.Declare(path, "_main"))
+		paths[p.PID] = path
+	}
+	register(video.PrincipalXanim, "/usr/odyssey/bin/xanim")
+	register(video.PrincipalX, "/usr/X11R6/bin/X")
+	register(video.PrincipalOdyssey, "/usr/odyssey/bin/odyssey")
+	register(speech.PrincipalJanus, "/usr/odyssey/bin/janus")
+	register(speech.PrincipalFrontEnd, "/usr/odyssey/bin/speech-fe")
+	register(mapview.PrincipalAnvil, "/usr/odyssey/bin/anvil")
+	register(web.PrincipalNetscape, "/usr/local/bin/netscape")
+	register(web.PrincipalProxy, "/usr/odyssey/bin/proxy")
+
+	dur := time.Duration(seconds) * time.Second
+	done := false
+	rig.K.At(dur, func() { done = true })
+
+	apps := workload.NewApps(rig)
+	switch workloadName {
+	case "video":
+		rig.K.Spawn("w", func(p *sim.Proc) {
+			apps.VideoLoop(p, video.Clip{Name: "profiled", Length: 15 * time.Second}, func() bool { return done })
+		})
+	case "speech":
+		rig.K.Spawn("w", func(p *sim.Proc) {
+			us := speech.StandardUtterances()
+			for i := 0; !done; i++ {
+				apps.Speech.Recognize(p, us[i%len(us)])
+				p.Sleep(2 * time.Second)
+			}
+		})
+	case "map":
+		rig.K.Spawn("w", func(p *sim.Proc) {
+			ms := mapview.StandardMaps()
+			for i := 0; !done; i++ {
+				apps.Map.View(p, ms[i%len(ms)])
+			}
+		})
+	case "web":
+		rig.K.Spawn("w", func(p *sim.Proc) {
+			imgs := web.StandardImages()
+			for i := 0; !done; i++ {
+				apps.Web.Fetch(p, imgs[i%len(imgs)])
+			}
+		})
+	case "composite":
+		rig.K.Spawn("w", func(p *sim.Proc) {
+			for i := 0; !done; i++ {
+				apps.CompositeIteration(p, i)
+			}
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", workloadName)
+		os.Exit(2)
+	}
+
+	pf.Start()
+	rig.K.Run(dur + 30*time.Second)
+	pf.Stop()
+
+	prof := powerscope.Correlate(pf.Samples(), pf.Symbols, paths)
+	fmt.Printf("PowerScope profile: %s workload, %v of virtual time, %d samples\n\n",
+		workloadName, dur, len(pf.Samples()))
+	fmt.Println(prof.String())
+	if symbols {
+		fmt.Println("Symbol table:")
+		fmt.Println(pf.Symbols.String())
+	}
+	return prof
+}

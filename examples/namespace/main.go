@@ -1,0 +1,106 @@
+// Namespace: the Odyssey VFS interface end to end — typed data objects
+// registered by path, opened with fidelity annotations, and operated on
+// through type-specific operations (tsops) dispatched to wardens, exactly
+// as the paper's VFS integration exposes them to applications.
+//
+// Run it with:
+//
+//	go run ./examples/namespace
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"odyssey/internal/app/env"
+	"odyssey/internal/app/mapview"
+	"odyssey/internal/app/speech"
+	"odyssey/internal/app/video"
+	"odyssey/internal/app/web"
+	"odyssey/internal/odfs"
+	"odyssey/internal/sim"
+)
+
+func main() {
+	rig := env.NewRig(11, 1)
+	rig.EnablePowerMgmt()
+
+	// Mounting the wardens: constructing each application registers its
+	// warden with the viceroy, which doubles as the namespace mount table.
+	video.NewPlayer(rig)
+	speech.NewRecognizer(rig)
+	mapview.NewViewer(rig)
+	web.NewBrowser(rig)
+
+	fs := odfs.New(rig.V)
+	must := func(_ *odfs.Object, err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	for _, m := range mapview.StandardMaps() {
+		must(fs.Register(odfs.Object{Path: "/odyssey/maps/" + m.City, Type: "map", Data: m}))
+	}
+	for _, u := range speech.StandardUtterances() {
+		must(fs.Register(odfs.Object{Path: "/odyssey/speech/" + u.Name, Type: "speech", Data: u}))
+	}
+	must(fs.Register(odfs.Object{
+		Path: "/odyssey/video/trailer", Type: "video",
+		Data: video.Clip{Name: "trailer", Length: 15 * time.Second},
+	}))
+
+	paths, _ := fs.Walk("/odyssey")
+	fmt.Printf("Mounted wardens: %v\n", rig.V.Wardens())
+	fmt.Printf("Namespace (%d objects):\n", len(paths))
+	for _, p := range paths {
+		fmt.Println("  " + p)
+	}
+
+	rig.K.Spawn("user", func(p *sim.Proc) {
+		// Fetch the same map at two fidelities through one handle.
+		h, err := fs.Open("/odyssey/maps/San Jose", 3)
+		if err != nil {
+			panic(err)
+		}
+		for _, level := range []int{3, 0} {
+			h.SetFidelity(level)
+			cp := rig.M.Acct.Checkpoint()
+			bytes, err := h.TSOp(p, "fetch", mapview.FetchArgs{Think: 3 * time.Second})
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("[%5.1fs] fetch %s at fidelity %d: %.0f bytes, %.1f J\n",
+				p.Now().Seconds(), h.Object().Path, level, bytes, cp.Since())
+		}
+		h.Close()
+
+		// Recognize an utterance through the namespace, hybrid mode.
+		hu, err := fs.Open("/odyssey/speech/Utterance 2", 0)
+		if err != nil {
+			panic(err)
+		}
+		cp := rig.M.Acct.Checkpoint()
+		model, err := hu.TSOp(p, "recognize", speech.RecognizeArgs{Mode: speech.Hybrid})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("[%5.1fs] recognized %s with model %v: %.1f J\n",
+			p.Now().Seconds(), hu.Object().Path, model, cp.Since())
+		hu.Close()
+
+		// Play the trailer at lowest fidelity.
+		hv, err := fs.Open("/odyssey/video/trailer", 0)
+		if err != nil {
+			panic(err)
+		}
+		cp = rig.M.Acct.Checkpoint()
+		track, err := hv.TSOp(p, "play", nil)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("[%5.1fs] played %s on track %q: %.1f J\n",
+			p.Now().Seconds(), hv.Object().Path, track, cp.Since())
+	})
+	rig.K.Run(0)
+	fmt.Printf("total energy: %.1f J over %v\n", rig.M.Acct.TotalEnergy(), rig.K.Now().Round(time.Millisecond))
+}

@@ -1,0 +1,74 @@
+// Videoplayer: the Odyssey video player adapting to both bandwidth and
+// energy, the two resources the paper's Odyssey monitors.
+//
+// The player streams a clip while (a) the wireless bandwidth drops halfway
+// through — delivered to the application through the viceroy's resource
+// expectation upcall, exactly like the original Odyssey bandwidth
+// adaptation — and (b) an energy goal forces further degradation. Run it
+// with:
+//
+//	go run ./examples/videoplayer
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"odyssey/internal/app/env"
+	"odyssey/internal/app/video"
+	"odyssey/internal/core"
+	"odyssey/internal/power"
+	"odyssey/internal/sim"
+)
+
+func main() {
+	rig := env.NewRig(7, 1)
+	rig.EnablePowerMgmt()
+
+	player := video.NewPlayer(rig)
+	clip := video.Clip{Name: "demo", Length: 3 * time.Minute}
+
+	// Bandwidth adaptation: the monitor publishes the link's fair share
+	// as a viceroy resource; the player registers expectations on it and
+	// re-picks its track on every upcall (the original Odyssey protocol,
+	// built into the player).
+	rig.StartBandwidthMonitor(time.Second)
+	if err := player.EnableBandwidthAdaptation(env.BandwidthResource); err != nil {
+		panic(err)
+	}
+	prevTrack := player.Track().Name
+	watch := rig.K.Every(time.Second, func() {
+		if name := player.Track().Name; name != prevTrack {
+			fmt.Printf("[%6.1fs] bandwidth adaptation -> track %q\n",
+				rig.K.Now().Seconds(), name)
+			prevTrack = name
+		}
+	})
+	watch.Start()
+
+	// Energy adaptation: a small supply with a goal that outlasts the
+	// clip at full fidelity.
+	supply := power.NewSupply(rig.M.Acct, 2600)
+	monitor := core.NewEnergyMonitor(rig.V, rig.M.Acct, supply, core.DefaultEnergyConfig())
+	rig.V.RegisterApp(player, 1)
+	monitor.SetGoal(clip.Length)
+	monitor.Start()
+
+	// Halfway through, the link quality collapses to a third.
+	rig.K.At(90*time.Second, func() {
+		rig.Net.Link().SetCapacity(rig.M.Prof.LinkBandwidth / 3)
+	})
+
+	rig.K.Spawn("viewer", func(p *sim.Proc) {
+		fmt.Printf("[%6.1fs] playing %q at track %q\n", p.Now().Seconds(), clip.Name, player.Track().Name)
+		player.Play(p, clip)
+		fmt.Printf("[%6.1fs] playback complete at track %q\n", p.Now().Seconds(), player.Track().Name)
+		monitor.Stop()
+		watch.Stop()
+		rig.K.Stop()
+	})
+	rig.K.Run(clip.Length * 2)
+
+	fmt.Printf("energy used: %.0f J (residual %.0f J); adaptations: %d down, %d up\n",
+		supply.Consumed(), supply.Residual(), monitor.Degrades(), monitor.Upgrades())
+}

@@ -1,0 +1,50 @@
+// Zonedisplay: the Section 4 zoned-backlighting projection — play the same
+// video on conventional, 4-zone and 8-zone displays at full and lowest
+// fidelity, and print the projected savings.
+//
+// Run it with:
+//
+//	go run ./examples/zonedisplay
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"odyssey/internal/app/env"
+	"odyssey/internal/app/video"
+	"odyssey/internal/sim"
+)
+
+func measure(zones int, track video.Track) float64 {
+	rig := env.NewRig(5, zones)
+	rig.EnablePowerMgmt()
+	rig.ZonedPolicy = zones > 1
+	clip := video.Clip{Name: "demo", Length: 60 * time.Second}
+	var energy float64
+	rig.K.Spawn("w", func(p *sim.Proc) {
+		cp := rig.M.Acct.Checkpoint()
+		video.PlayTrack(rig, p, clip, func() video.Track { return track })
+		energy = cp.Since()
+	})
+	rig.K.Run(0)
+	return energy
+}
+
+func main() {
+	fmt.Println("Projected energy for 60 s of video under zoned backlighting")
+	fmt.Println("(covered zones bright, peripheral zones dim; hardware power mgmt on)")
+	fmt.Println()
+	fmt.Printf("%-22s %12s %12s %12s\n", "Fidelity", "No zones (J)", "4 zones (J)", "8 zones (J)")
+	for _, track := range []video.Track{video.TrackBase, video.TrackCombined} {
+		base := measure(1, track)
+		z4 := measure(4, track)
+		z8 := measure(8, track)
+		fmt.Printf("%-22s %12.1f %12.1f %12.1f\n", track.Name, base, z4, z8)
+		fmt.Printf("%-22s %12s %11.1f%% %11.1f%%\n", "  savings vs no zones", "",
+			(1-z4/base)*100, (1-z8/base)*100)
+	}
+	fmt.Println()
+	fmt.Println("The window of the lowest-fidelity track lights a single zone, so the")
+	fmt.Println("savings grow as fidelity drops — zoned backlighting rewards adaptation.")
+}

@@ -1,0 +1,3 @@
+module odyssey
+
+go 1.22

@@ -1,0 +1,155 @@
+package audio
+
+import (
+	"testing"
+	"time"
+
+	"odyssey/internal/app/env"
+	"odyssey/internal/core"
+	"odyssey/internal/hw"
+	"odyssey/internal/power"
+	"odyssey/internal/sim"
+)
+
+func playOnce(seed int64, s Stream, enc Encoding, mgmt bool) (energy float64, dur time.Duration) {
+	rig := env.NewRig(seed, 1)
+	if mgmt {
+		rig.EnablePowerMgmt()
+		rig.M.Display.SetAll(hw.BacklightOff) // hands-free listening
+	}
+	rig.K.Spawn("w", func(p *sim.Proc) {
+		cp := rig.M.Acct.Checkpoint()
+		start := p.Now()
+		PlayStream(rig, p, s, func() Encoding { return enc })
+		energy = cp.Since()
+		dur = p.Now() - start
+	})
+	rig.K.Run(0)
+	return energy, dur
+}
+
+func TestPlaybackPaced(t *testing.T) {
+	s := Stream{Name: "s", Length: 30 * time.Second}
+	_, dur := playOnce(1, s, Encodings()[3], true)
+	if dur < s.Length || dur > s.Length+2*time.Second {
+		t.Fatalf("playback took %v for a %v stream", dur, s.Length)
+	}
+}
+
+func TestBitrateLadderMonotone(t *testing.T) {
+	s := Stream{Name: "s", Length: 30 * time.Second}
+	prev := -1.0
+	for i := len(Encodings()) - 1; i >= 0; i-- {
+		e, _ := playOnce(2, s, Encodings()[i], true)
+		if prev >= 0 && e >= prev {
+			t.Fatalf("%s energy %.1f not below higher bitrate %.1f", Encodings()[i].Name, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestDisplayOffDominatesSavings(t *testing.T) {
+	// Audio's headline: with the display off and a thin stream, the
+	// client spends most energy idle — like remote speech recognition.
+	rig := env.NewRig(3, 1)
+	rig.EnablePowerMgmt()
+	rig.M.Display.SetAll(hw.BacklightOff)
+	s := Stream{Name: "s", Length: 30 * time.Second}
+	rig.K.Spawn("w", func(p *sim.Proc) {
+		PlayStream(rig, p, s, func() Encoding { return Encodings()[0] })
+	})
+	rig.K.Run(0)
+	byP := rig.M.Acct.EnergyByPrincipal()
+	total := rig.M.Acct.TotalEnergy()
+	if byP["Idle"] < 0.5*total {
+		t.Fatalf("idle energy %.1f of %.1f; audio at 32 kbps should be idle-dominated", byP["Idle"], total)
+	}
+}
+
+func TestAdaptiveLevels(t *testing.T) {
+	rig := env.NewRig(4, 1)
+	pl := NewPlayer(rig)
+	if pl.Name() != "audio" || len(pl.Levels()) != 4 {
+		t.Fatalf("identity: %q %v", pl.Name(), pl.Levels())
+	}
+	if pl.Encoding().Name != "128kbps" {
+		t.Fatalf("initial encoding %q", pl.Encoding().Name)
+	}
+	pl.SetLevel(0)
+	if pl.Encoding().Name != "32kbps" {
+		t.Fatalf("lowest encoding %q", pl.Encoding().Name)
+	}
+	pl.SetLevel(-1)
+	if pl.Level() != 0 {
+		t.Fatal("clamp low failed")
+	}
+	pl.SetLevel(99)
+	if pl.Level() != 3 {
+		t.Fatal("clamp high failed")
+	}
+}
+
+func TestMidStreamAdaptation(t *testing.T) {
+	rig := env.NewRig(5, 1)
+	rig.EnablePowerMgmt()
+	rig.M.Display.SetAll(hw.BacklightOff)
+	pl := NewPlayer(rig)
+	s := Stream{Name: "s", Length: 40 * time.Second}
+	rig.K.At(20*time.Second, func() { pl.SetLevel(0) })
+	var firstHalf, total float64
+	rig.K.At(20*time.Second, func() { firstHalf = rig.M.Acct.TotalEnergy() })
+	rig.K.Spawn("w", func(p *sim.Proc) {
+		pl.Play(p, s)
+		total = rig.M.Acct.TotalEnergy()
+	})
+	rig.K.Run(0)
+	if total-firstHalf >= firstHalf {
+		t.Fatalf("degraded second half (%.1f J) not below first (%.1f J)", total-firstHalf, firstHalf)
+	}
+}
+
+func TestGoalDirectedAudio(t *testing.T) {
+	// The audio player plugs into the same goal-directed machinery as the
+	// paper's four applications: full-bitrate streaming cannot make the
+	// goal, so the monitor must degrade the bitrate, and the supply must
+	// survive to the goal.
+	rig := env.NewRig(6, 1)
+	rig.EnablePowerMgmt()
+	rig.M.Display.SetAll(hw.BacklightOff)
+	pl := NewPlayer(rig)
+	rig.V.RegisterApp(pl, 1)
+	supply := newSupply(rig, 800)
+	em := newMonitor(rig, supply)
+	goal := 3 * time.Minute
+	em.SetGoal(goal)
+	em.Start()
+	done := false
+	var survived bool
+	rig.K.At(goal, func() {
+		done = true
+		survived = !supply.Depleted()
+		em.Stop()
+		rig.K.Stop()
+	})
+	rig.K.Spawn("listener", func(p *sim.Proc) {
+		for !done && !supply.Depleted() {
+			pl.Play(p, Stream{Name: "track", Length: 30 * time.Second})
+		}
+	})
+	rig.K.Run(goal + time.Minute)
+	if em.Degrades() == 0 {
+		t.Fatal("monitor never degraded the audio bitrate")
+	}
+	if !survived {
+		t.Fatalf("supply died before the goal (residual %.0f J)", supply.Residual())
+	}
+}
+
+// Test scaffolding bridging to the power/core packages.
+func newSupply(rig *env.Rig, joules float64) *power.Supply {
+	return power.NewSupply(rig.M.Acct, joules)
+}
+
+func newMonitor(rig *env.Rig, s *power.Supply) *core.EnergyMonitor {
+	return core.NewEnergyMonitor(rig.V, rig.M.Acct, s, core.DefaultEnergyConfig())
+}

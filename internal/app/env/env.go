@@ -1,0 +1,151 @@
+// Package env assembles the simulated testbed one experiment trial runs on:
+// the ThinkPad-560X machine model, the shared wireless network, the remote
+// servers, and an Odyssey viceroy. It also centralizes the two cross-app
+// policies of the paper's methodology — hardware power management and the
+// (projected) zoned-backlight display policy — plus jittered user think
+// time.
+package env
+
+import (
+	"time"
+
+	"odyssey/internal/core"
+	"odyssey/internal/hw"
+	"odyssey/internal/netsim"
+	"odyssey/internal/sim"
+)
+
+// ThinkJitterFraction is the ±fraction of uniform noise applied to think
+// times, giving trials the measurement variance the paper's error bars show.
+const ThinkJitterFraction = 0.06
+
+// Rig is one trial's hardware and software environment.
+type Rig struct {
+	K   *sim.Kernel
+	M   *hw.Machine
+	Net *netsim.Network
+	V   *core.Viceroy
+
+	// Remote servers (drawing wall power; their time costs the client
+	// only waiting).
+	VideoServer *netsim.Server
+	JanusServer *netsim.Server
+	MapServer   *netsim.Server
+	WebServer   *netsim.Server
+
+	// PowerMgmt records whether hardware power management is enabled.
+	PowerMgmt bool
+	// ZonedPolicy, when true, lights only the zones an application's
+	// window covers (Section 4's projection); otherwise the whole panel
+	// follows conventional backlight control.
+	ZonedPolicy bool
+}
+
+// NewRig builds a fresh testbed for one trial. displayZones is 1 for a
+// conventional panel, 4 or 8 for the zoned projections.
+func NewRig(seed int64, displayZones int) *Rig {
+	k := sim.NewKernel(seed)
+	m := hw.NewMachine(k, hw.ThinkPad560X(), displayZones)
+	r := &Rig{
+		K:   k,
+		M:   m,
+		Net: netsim.New(m),
+		V:   core.NewViceroy(k),
+	}
+	for _, s := range []struct {
+		dst  **netsim.Server
+		name string
+	}{
+		{&r.VideoServer, "video-server"},
+		{&r.JanusServer, "janus-server"},
+		{&r.MapServer, "map-server"},
+		{&r.WebServer, "distill-server"},
+	} {
+		srv := netsim.NewServer(k, s.name)
+		srv.SpeedJitter = 0.05
+		*s.dst = srv
+	}
+	return r
+}
+
+// EnablePowerMgmt turns on the hardware power-management policies of the
+// paper's managed runs: disk spin-down (starting spun down), and the
+// modified communication package that keeps the WaveLAN in standby outside
+// RPCs and bulk transfers.
+func (r *Rig) EnablePowerMgmt() {
+	r.PowerMgmt = true
+	r.M.EnablePowerManagement()
+	r.Net.StandbyPolicy = true
+}
+
+// Illuminate applies the display policy for an application whose window
+// covers screenFrac of the panel: conventionally the whole panel is bright;
+// under the zoned policy only covered zones are fully lit while peripheral
+// zones fall to dim — the "window in focus brightly illuminated, rest of
+// the screen dim" configuration of Section 4 (this reproduces the paper's
+// projected 24% / 28-29% lowest-fidelity video savings).
+func (r *Rig) Illuminate(screenFrac float64) {
+	if !r.ZonedPolicy {
+		r.M.Display.SetAll(hw.BacklightBright)
+		return
+	}
+	lit := hw.ZonesForWindow(r.M.Display.Zones(), screenFrac)
+	r.M.Display.SetCoverage(lit, hw.BacklightBright, hw.BacklightDim)
+}
+
+// IlluminateWindow is the geometric form of Illuminate: the window manager
+// snaps the window to straddle the fewest zones (the paper's proposed
+// "snap-to" feature) and lights exactly those, with peripheral zones dim.
+// Displays with nonstandard zone counts fall back to area-based coverage.
+func (r *Rig) IlluminateWindow(win hw.Rect) {
+	if !r.ZonedPolicy {
+		r.M.Display.SetAll(hw.BacklightBright)
+		return
+	}
+	g, err := hw.GridForZones(r.M.Display.Zones())
+	if err != nil {
+		r.Illuminate(win.Area())
+		return
+	}
+	r.M.Display.IlluminateWindow(g, win, hw.BacklightBright, hw.BacklightDim)
+}
+
+// BandwidthResource is the viceroy resource name the bandwidth monitor
+// publishes.
+const BandwidthResource = "bandwidth"
+
+// StartBandwidthMonitor publishes the wireless link's available bandwidth
+// as a viceroy resource every period — the original Odyssey's network
+// adaptation input. Availability is the fair share a flow can expect:
+// capacity divided by the number of active flows (an application is not
+// penalized for its own consumption). It returns the monitor so callers can
+// stop it.
+func (r *Rig) StartBandwidthMonitor(period time.Duration) *core.ResourceMonitor {
+	link := r.Net.Link()
+	m := r.V.MonitorResource(BandwidthResource, period, func() float64 {
+		n := link.Active()
+		if n < 1 {
+			n = 1
+		}
+		return link.Capacity() / float64(n)
+	})
+	m.Start()
+	return m
+}
+
+// Think idles for the user's think time (jittered), with the display left
+// in its current state. Energy consumed here is part of the application's
+// execution, per the paper.
+func (r *Rig) Think(p *sim.Proc, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	jit := 1 + ThinkJitterFraction*(2*r.K.Rand().Float64()-1)
+	p.Sleep(time.Duration(float64(d) * jit))
+}
+
+// Jitter scales d by ±frac uniform noise.
+func (r *Rig) Jitter(d time.Duration, frac float64) time.Duration {
+	j := 1 + frac*(2*r.K.Rand().Float64()-1)
+	return time.Duration(float64(d) * j)
+}

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"odyssey/internal/power"
+	"odyssey/internal/sim"
+	"odyssey/internal/trace"
+)
+
+// EnergyConfig holds the goal-directed adaptation parameters. The defaults
+// are the paper's prototype settings.
+type EnergyConfig struct {
+	// SamplePeriod is the power-measurement interval (100 ms).
+	SamplePeriod time.Duration
+	// EvalPeriod is how often adaptation decisions are made (500 ms —
+	// "Odyssey performs these actions twice a second").
+	EvalPeriod time.Duration
+	// HalfLifeFraction sets the exponential-smoothing half-life to this
+	// fraction of the time remaining until the goal (0.10; Figure 21 is
+	// the paper's sensitivity analysis).
+	HalfLifeFraction float64
+	// FixedAlpha, if positive, disables the time-scaled half-life and
+	// uses a constant smoothing weight instead (ablation arm).
+	FixedAlpha float64
+	// HystResidualFraction and HystInitialFraction define the hysteresis
+	// zone: fidelity improves only when supply exceeds demand by more
+	// than HystResidualFraction*residual + HystInitialFraction*initial
+	// (5% and 1% in the prototype).
+	HystResidualFraction float64
+	HystInitialFraction  float64
+	// UpgradeInterval caps fidelity improvements to one per interval
+	// (15 s in the prototype). Zero disables the cap (ablation arm).
+	UpgradeInterval time.Duration
+	// InfeasibleStreak is the minimum number of consecutive evaluations
+	// that must find demand exceeding supply with every application
+	// already at lowest fidelity before the user is notified that the
+	// goal is infeasible. The notification additionally waits two
+	// smoothing half-lives so the power estimate has had time to reflect
+	// the degraded workload.
+	InfeasibleStreak int
+}
+
+// DefaultEnergyConfig returns the paper's prototype parameters.
+func DefaultEnergyConfig() EnergyConfig {
+	return EnergyConfig{
+		SamplePeriod:         100 * time.Millisecond,
+		EvalPeriod:           500 * time.Millisecond,
+		HalfLifeFraction:     0.10,
+		HystResidualFraction: 0.05,
+		HystInitialFraction:  0.01,
+		UpgradeInterval:      15 * time.Second,
+		InfeasibleStreak:     10,
+	}
+}
+
+// EnergySource abstracts where the monitor's supply and demand readings
+// come from. The prototype path (NewEnergyMonitor) computes exact average
+// power from the accountant — the on-line PowerScope of the paper — while
+// deployed systems would read a SmartBattery (see internal/smartbattery),
+// which quantizes and rate-limits the readings.
+type EnergySource interface {
+	// Residual returns the remaining energy in joules.
+	Residual() float64
+	// Initial returns the starting energy in joules (for the constant
+	// component of the hysteresis threshold).
+	Initial() float64
+	// SamplePower returns the power reading for the current sampling
+	// instant, in watts. Implementations may average since the previous
+	// call or return a quantized instantaneous reading.
+	SamplePower() float64
+}
+
+// meterSource is the prototype measurement path: average power between
+// samples from the accountant's exact integral, residual from the supply.
+type meterSource struct {
+	k      *sim.Kernel
+	acct   *power.Accountant
+	supply *power.Supply
+	lastE  float64
+	lastT  time.Duration
+}
+
+func newMeterSource(k *sim.Kernel, acct *power.Accountant, supply *power.Supply) *meterSource {
+	return &meterSource{k: k, acct: acct, supply: supply, lastE: acct.TotalEnergy(), lastT: k.Now()}
+}
+
+func (m *meterSource) Residual() float64 { return m.supply.Residual() }
+func (m *meterSource) Initial() float64  { return m.supply.Initial() }
+
+func (m *meterSource) SamplePower() float64 {
+	now := m.k.Now()
+	e := m.acct.TotalEnergy()
+	dt := (now - m.lastT).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	p := (e - m.lastE) / dt
+	m.lastE = e
+	m.lastT = now
+	return p
+}
+
+// TracePoint is one observation of the adaptation state, recorded at each
+// evaluation — the data behind the paper's Figure 19.
+type TracePoint struct {
+	Time   time.Duration
+	Supply float64 // residual energy (J)
+	Demand float64 // predicted future demand (J)
+	Levels map[string]int
+}
+
+// EnergyMonitor extends Odyssey with energy supply and demand monitoring
+// and directs registered applications' adaptation to make the supply last
+// for a user-specified duration.
+type EnergyMonitor struct {
+	v   *Viceroy
+	src EnergySource
+	cfg EnergyConfig
+
+	goal time.Duration
+
+	smoothed   float64
+	haveSample bool
+
+	lastUpgrade      time.Duration
+	infeasibleCount  int
+	infeasibleSince  time.Duration // -1 when the condition does not hold
+	notifiedInfeasOn bool
+
+	sampleEv *sim.Event
+	evalEv   *sim.Event
+	running  bool
+
+	// OnInfeasible, if set, is called once when the monitor concludes the
+	// goal cannot be met even at lowest fidelity.
+	OnInfeasible func()
+	// Trace, if set, receives a point at every evaluation.
+	Trace func(TracePoint)
+	// Events, if set, records adaptation decisions in the event log.
+	Events *trace.Log
+
+	degrades int
+	upgrades int
+}
+
+// NewEnergyMonitor attaches goal-directed energy adaptation to v, drawing
+// residual-energy readings from supply and power readings from acct (the
+// prototype's on-line PowerScope measurement path).
+func NewEnergyMonitor(v *Viceroy, acct *power.Accountant, supply *power.Supply, cfg EnergyConfig) *EnergyMonitor {
+	return NewEnergyMonitorSource(v, newMeterSource(v.k, acct, supply), cfg)
+}
+
+// NewEnergyMonitorSource attaches goal-directed energy adaptation to v with
+// an arbitrary measurement source (e.g. a SmartBattery).
+func NewEnergyMonitorSource(v *Viceroy, src EnergySource, cfg EnergyConfig) *EnergyMonitor {
+	if cfg.SamplePeriod <= 0 || cfg.EvalPeriod <= 0 {
+		panic("core: energy monitor periods must be positive")
+	}
+	return &EnergyMonitor{
+		v:               v,
+		src:             src,
+		cfg:             cfg,
+		lastUpgrade:     -1 << 60,
+		infeasibleSince: -1,
+	}
+}
+
+// SetGoal sets or revises the battery-duration goal as an absolute virtual
+// time. Users revise goals mid-run in the paper's longer experiments.
+func (em *EnergyMonitor) SetGoal(goal time.Duration) { em.goal = goal }
+
+// Goal returns the current goal.
+func (em *EnergyMonitor) Goal() time.Duration { return em.goal }
+
+// Start begins sampling and evaluation.
+func (em *EnergyMonitor) Start() {
+	if em.running {
+		return
+	}
+	em.running = true
+	em.src.SamplePower() // reset the source's averaging window
+	em.scheduleSample()
+	em.scheduleEval()
+}
+
+// Stop halts the monitor.
+func (em *EnergyMonitor) Stop() {
+	em.running = false
+	if em.sampleEv != nil {
+		em.sampleEv.Cancel()
+		em.sampleEv = nil
+	}
+	if em.evalEv != nil {
+		em.evalEv.Cancel()
+		em.evalEv = nil
+	}
+}
+
+// Degrades and Upgrades report the number of adaptation upcalls issued in
+// each direction.
+func (em *EnergyMonitor) Degrades() int { return em.degrades }
+
+// Upgrades reports the number of fidelity-improvement upcalls issued.
+func (em *EnergyMonitor) Upgrades() int { return em.upgrades }
+
+// SmoothedPower returns the current smoothed power estimate in watts.
+func (em *EnergyMonitor) SmoothedPower() float64 { return em.smoothed }
+
+// PredictedDemand returns the current future-demand estimate in joules.
+func (em *EnergyMonitor) PredictedDemand() float64 {
+	remaining := em.goal - em.v.k.Now()
+	if remaining < 0 {
+		remaining = 0
+	}
+	return em.smoothed * remaining.Seconds()
+}
+
+func (em *EnergyMonitor) scheduleSample() {
+	em.sampleEv = em.v.k.After(em.cfg.SamplePeriod, func() {
+		if !em.running {
+			return
+		}
+		em.takeSample()
+		em.scheduleSample()
+	})
+}
+
+func (em *EnergyMonitor) scheduleEval() {
+	em.evalEv = em.v.k.After(em.cfg.EvalPeriod, func() {
+		if !em.running {
+			return
+		}
+		em.evaluate()
+		em.scheduleEval()
+	})
+}
+
+// alpha computes the smoothing weight of the old estimate for the current
+// instant: the half-life of the decay is HalfLifeFraction of the time
+// remaining until the goal, so the system is stable when the goal is
+// distant and agile as it nears.
+func (em *EnergyMonitor) alpha() float64 {
+	if em.cfg.FixedAlpha > 0 {
+		return em.cfg.FixedAlpha
+	}
+	remaining := em.goal - em.v.k.Now()
+	if remaining <= 0 {
+		return 0
+	}
+	halfLife := em.cfg.HalfLifeFraction * remaining.Seconds()
+	if halfLife <= 0 {
+		return 0
+	}
+	return math.Pow(0.5, em.cfg.SamplePeriod.Seconds()/halfLife)
+}
+
+// takeSample observes average power over the last sample period (the
+// constant-power-between-samples assumption of the paper) and folds it into
+// the smoothed estimate: new = (1-alpha)*sample + alpha*old.
+func (em *EnergyMonitor) takeSample() {
+	sample := em.src.SamplePower()
+	if sample <= 0 {
+		return
+	}
+	if !em.haveSample {
+		em.smoothed = sample
+		em.haveSample = true
+		return
+	}
+	a := em.alpha()
+	em.smoothed = (1-a)*sample + a*em.smoothed
+}
+
+// evaluate compares predicted demand with residual supply and directs one
+// adaptation if warranted.
+func (em *EnergyMonitor) evaluate() {
+	now := em.v.k.Now()
+	if now >= em.goal {
+		return // goal reached; nothing to direct
+	}
+	residual := em.src.Residual()
+	demand := em.PredictedDemand()
+
+	if em.Trace != nil {
+		levels := make(map[string]int, len(em.v.apps))
+		for _, r := range em.v.apps {
+			levels[r.App.Name()] = r.App.Level()
+		}
+		em.Trace(TracePoint{Time: now, Supply: residual, Demand: demand, Levels: levels})
+	}
+
+	if demand > residual {
+		if em.degradeOne() {
+			em.infeasibleCount = 0
+			em.infeasibleSince = -1
+			return
+		}
+		// Everyone already at lowest fidelity. Declare the goal
+		// infeasible only once the condition has persisted both for
+		// the configured streak and for two smoothing half-lives, so
+		// the power estimate reflects the fully degraded workload.
+		em.infeasibleCount++
+		if em.infeasibleSince < 0 {
+			em.infeasibleSince = now
+		}
+		halfLife := time.Duration(em.cfg.HalfLifeFraction * float64(em.goal-now))
+		if em.infeasibleCount >= em.cfg.InfeasibleStreak &&
+			now-em.infeasibleSince >= 2*halfLife &&
+			!em.notifiedInfeasOn {
+			em.notifiedInfeasOn = true
+			if em.Events != nil {
+				em.Events.Add(trace.CatMonitor, "odyssey", "goal infeasible at lowest fidelity", demand-residual)
+			}
+			if em.OnInfeasible != nil {
+				em.OnInfeasible()
+			}
+		}
+		return
+	}
+	em.infeasibleCount = 0
+	em.infeasibleSince = -1
+
+	headroom := residual - demand
+	threshold := em.cfg.HystResidualFraction*residual + em.cfg.HystInitialFraction*em.src.Initial()
+	if headroom > threshold {
+		if em.cfg.UpgradeInterval > 0 && now-em.lastUpgrade < em.cfg.UpgradeInterval {
+			return
+		}
+		if em.upgradeOne() {
+			em.lastUpgrade = now
+		}
+	}
+}
+
+// degradeOne lowers the fidelity of the lowest-priority application that is
+// not already at its minimum. It reports whether any change was made.
+func (em *EnergyMonitor) degradeOne() bool {
+	for _, r := range em.v.byPriority() {
+		lvl := r.App.Level()
+		if lvl > 0 {
+			r.App.SetLevel(clampLevel(r.App, lvl-1))
+			r.Adaptations++
+			em.degrades++
+			if em.Events != nil {
+				em.Events.Add(trace.CatAdapt, r.App.Name(), "degrade", float64(r.App.Level()))
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// upgradeOne raises the fidelity of the highest-priority application that
+// is not already at its maximum — the reverse of degradation order.
+func (em *EnergyMonitor) upgradeOne() bool {
+	prio := em.v.byPriority()
+	for i := len(prio) - 1; i >= 0; i-- {
+		r := prio[i]
+		lvl := r.App.Level()
+		if lvl < len(r.App.Levels())-1 {
+			r.App.SetLevel(clampLevel(r.App, lvl+1))
+			r.Adaptations++
+			em.upgrades++
+			if em.Events != nil {
+				em.Events.Add(trace.CatAdapt, r.App.Name(), "upgrade", float64(r.App.Level()))
+			}
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"time"
+
+	"odyssey/internal/sim"
+)
+
+// SetPriority changes the registration's priority — the dynamic-priority
+// interface the paper describes as in progress ("we are implementing an
+// interface to allow users to change priority dynamically"). The new value
+// takes effect at the next adaptation decision.
+func (r *Registration) SetPriority(p int) { r.Priority = p }
+
+// ResourceMonitor periodically samples a quantity and publishes it as a
+// viceroy resource, driving expectation upcalls. This is how the viceroy
+// monitors resources it does not receive explicit updates for (network
+// bandwidth in the original Odyssey).
+type ResourceMonitor struct {
+	v      *Viceroy
+	name   string
+	period time.Duration
+	sample func() float64
+
+	ev      *sim.Event
+	running bool
+}
+
+// MonitorResource declares the resource (at the sampler's current value)
+// and returns a monitor that, once started, republishes the sampled value
+// every period.
+func (v *Viceroy) MonitorResource(name string, period time.Duration, sample func() float64) *ResourceMonitor {
+	if period <= 0 {
+		panic("core: resource monitor period must be positive")
+	}
+	v.DeclareResource(name, sample())
+	return &ResourceMonitor{v: v, name: name, period: period, sample: sample}
+}
+
+// Start begins periodic sampling.
+func (m *ResourceMonitor) Start() {
+	if m.running {
+		return
+	}
+	m.running = true
+	m.schedule()
+}
+
+// Stop halts sampling.
+func (m *ResourceMonitor) Stop() {
+	m.running = false
+	if m.ev != nil {
+		m.ev.Cancel()
+		m.ev = nil
+	}
+}
+
+func (m *ResourceMonitor) schedule() {
+	m.ev = m.v.k.After(m.period, func() {
+		if !m.running {
+			return
+		}
+		m.v.UpdateResource(m.name, m.sample())
+		m.schedule()
+	})
+}

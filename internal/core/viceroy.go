@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"odyssey/internal/sim"
+)
+
+// Viceroy is the Odyssey component responsible for monitoring resource
+// availability and managing its use. It hosts the generic resource
+// expectation API (the original Odyssey bandwidth adaptation) plus the
+// warden and application registries; the energy-specific machinery lives in
+// EnergyMonitor, which drives adaptation through the same registrations.
+type Viceroy struct {
+	k *sim.Kernel
+
+	apps    []*Registration
+	wardens map[string]Warden
+
+	resources map[string]*resource
+}
+
+// resource is a named, scalar resource level with registered expectations.
+type resource struct {
+	name  string
+	avail float64
+	exps  []*Expectation
+}
+
+// Expectation is a window registered by an application on a resource; when
+// availability strays outside [Low, High], Odyssey notifies the application
+// through the Upcall, per the original API.
+type Expectation struct {
+	Resource string
+	Low      float64
+	High     float64
+	Upcall   func(avail float64)
+	active   bool
+}
+
+// Cancel deregisters the expectation.
+func (e *Expectation) Cancel() { e.active = false }
+
+// NewViceroy returns an empty viceroy on k.
+func NewViceroy(k *sim.Kernel) *Viceroy {
+	return &Viceroy{
+		k:         k,
+		wardens:   make(map[string]Warden),
+		resources: make(map[string]*resource),
+	}
+}
+
+// Kernel returns the kernel the viceroy runs on.
+func (v *Viceroy) Kernel() *sim.Kernel { return v.k }
+
+// RegisterWarden installs a type-specific warden. Installing a second
+// warden for the same type is an error, as in the real system where there
+// is exactly one warden per data type.
+func (v *Viceroy) RegisterWarden(w Warden) error {
+	if _, dup := v.wardens[w.TypeName()]; dup {
+		return fmt.Errorf("core: warden for type %q already registered", w.TypeName())
+	}
+	v.wardens[w.TypeName()] = w
+	return nil
+}
+
+// Warden returns the warden for a data type, or nil.
+func (v *Viceroy) Warden(typeName string) Warden { return v.wardens[typeName] }
+
+// Wardens lists registered warden type names, sorted.
+func (v *Viceroy) Wardens() []string {
+	names := make([]string, 0, len(v.wardens))
+	for n := range v.wardens {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RegisterApp places an adaptive application under viceroy control with the
+// given static priority (higher values degrade later) and returns its
+// registration.
+func (v *Viceroy) RegisterApp(app Adaptive, priority int) *Registration {
+	r := &Registration{App: app, Priority: priority}
+	v.apps = append(v.apps, r)
+	return r
+}
+
+// Apps returns the registrations in registration order.
+func (v *Viceroy) Apps() []*Registration { return v.apps }
+
+// byPriority returns registrations sorted ascending by priority (ties in
+// registration order) — the degradation order.
+func (v *Viceroy) byPriority() []*Registration {
+	out := append([]*Registration(nil), v.apps...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Priority < out[j].Priority })
+	return out
+}
+
+// DeclareResource creates (or returns) a named resource with the given
+// initial availability.
+func (v *Viceroy) DeclareResource(name string, avail float64) {
+	if r, ok := v.resources[name]; ok {
+		r.avail = avail
+		return
+	}
+	v.resources[name] = &resource{name: name, avail: avail}
+}
+
+// Availability reports the current level of a resource (0 if undeclared).
+func (v *Viceroy) Availability(name string) float64 {
+	if r, ok := v.resources[name]; ok {
+		return r.avail
+	}
+	return 0
+}
+
+// Request registers an expectation window on a resource. If the current
+// availability is already outside the window, the upcall fires immediately
+// (scheduled as an event, not synchronously). It returns the expectation
+// for cancellation.
+func (v *Viceroy) Request(resourceName string, low, high float64, upcall func(avail float64)) (*Expectation, error) {
+	r, ok := v.resources[resourceName]
+	if !ok {
+		return nil, fmt.Errorf("core: resource %q not declared", resourceName)
+	}
+	e := &Expectation{Resource: resourceName, Low: low, High: high, Upcall: upcall, active: true}
+	r.exps = append(r.exps, e)
+	if r.avail < low || r.avail > high {
+		avail := r.avail
+		v.k.After(0, func() {
+			if e.active {
+				e.Upcall(avail)
+			}
+		})
+	}
+	return e, nil
+}
+
+// UpdateResource changes a resource's availability, issuing upcalls to every
+// expectation whose window no longer contains it. Notified expectations are
+// deregistered (the application re-registers with its new window, per the
+// Odyssey API).
+func (v *Viceroy) UpdateResource(name string, avail float64) {
+	r, ok := v.resources[name]
+	if !ok {
+		return
+	}
+	r.avail = avail
+	keep := r.exps[:0]
+	var fire []*Expectation
+	for _, e := range r.exps {
+		if !e.active {
+			continue
+		}
+		if avail < e.Low || avail > e.High {
+			e.active = false
+			fire = append(fire, e)
+			continue
+		}
+		keep = append(keep, e)
+	}
+	for i := len(keep); i < len(r.exps); i++ {
+		r.exps[i] = nil
+	}
+	r.exps = keep
+	for _, e := range fire {
+		e := e
+		v.k.After(0, func() { e.Upcall(avail) })
+	}
+}

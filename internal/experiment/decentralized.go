@@ -1,0 +1,180 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"odyssey/internal/app/env"
+	"odyssey/internal/power"
+	"odyssey/internal/stats"
+	"odyssey/internal/workload"
+)
+
+// The paper argues for a *collaborative* design: the operating system
+// predicts demand against supply and directs adaptation centrally. The
+// obvious alternative — publish residual energy as a plain resource and let
+// each application self-degrade at fixed thresholds through the expectation
+// API — needs no demand prediction, no priorities and no hysteresis. This
+// experiment quantifies what that simplicity costs: without demand
+// prediction the thresholds cannot know whether the current drain will miss
+// or beat the goal, so the decentralized policy both misses tight goals and
+// wastes fidelity on loose ones.
+
+// PolicyRow compares centralized goal-directed control with the
+// decentralized threshold policy at one goal.
+type PolicyRow struct {
+	Policy       string
+	Goal         time.Duration
+	MetPct       float64
+	Residual     stats.Summary
+	MeanFidelity float64 // across apps and time
+}
+
+// EnergyResource is the viceroy resource name the decentralized policy
+// publishes residual energy under.
+const EnergyResource = "energy"
+
+// DecentralizedComparison runs both policies at a tight goal (26 min) and a
+// loose one (20 min), five seeds each.
+func DecentralizedComparison(trials int) []PolicyRow {
+	var rows []PolicyRow
+	for _, goal := range []time.Duration{20 * time.Minute, 26 * time.Minute} {
+		rows = append(rows, runPolicy("centralized (paper)", goal, trials, false))
+		rows = append(rows, runPolicy("decentralized thresholds", goal, trials, true))
+	}
+	return rows
+}
+
+func runPolicy(name string, goal time.Duration, trials int, decentralized bool) PolicyRow {
+	met := 0
+	residuals := make([]float64, 0, trials)
+	fidSum := 0.0
+	for t := 0; t < trials; t++ {
+		seed := int64(3000 + t)
+		var r GoalResult
+		if decentralized {
+			r = runDecentralizedTrial(seed, goal)
+		} else {
+			r = RunGoal(GoalOptions{Seed: seed, InitialEnergy: Figure20InitialEnergy, Goal: goal})
+		}
+		if r.Met {
+			met++
+		}
+		residuals = append(residuals, r.Residual)
+		for _, f := range r.MeanFidelity {
+			fidSum += f
+		}
+	}
+	// Average fidelity across apps and trials.
+	meanFid := 0.0
+	if trials > 0 {
+		meanFid = fidSum / float64(trials*4)
+	}
+	return PolicyRow{
+		Policy:       name,
+		Goal:         goal,
+		MetPct:       float64(met) / float64(trials) * 100,
+		Residual:     stats.Summarize(residuals),
+		MeanFidelity: meanFid,
+	}
+}
+
+// runDecentralizedTrial drives the workload with residual energy published
+// as a viceroy resource and each application self-degrading one level each
+// time the residual crosses 75%, 50% and 25% of the initial supply.
+func runDecentralizedTrial(seed int64, goal time.Duration) GoalResult {
+	rig := env.NewRig(seed, 1)
+	rig.EnablePowerMgmt()
+	apps := workload.NewApps(rig)
+	regs := apps.Register()
+	apps.SetAllHighest()
+	supply := power.NewSupply(rig.M.Acct, Figure20InitialEnergy)
+
+	mon := rig.V.MonitorResource(EnergyResource, 500*time.Millisecond, supply.Residual)
+	mon.Start()
+
+	// Self-adaptation: every application independently watches the energy
+	// resource through the expectation API.
+	thresholds := []float64{0.75, 0.50, 0.25}
+	for _, reg := range regs {
+		reg := reg
+		var watch func(level int)
+		watch = func(ti int) {
+			if ti >= len(thresholds) {
+				return
+			}
+			low := thresholds[ti] * Figure20InitialEnergy
+			_, err := rig.V.Request(EnergyResource, low, 1e18, func(float64) {
+				reg.App.SetLevel(reg.App.Level() - 1)
+				reg.Adaptations++
+				watch(ti + 1)
+			})
+			if err != nil {
+				panic(err)
+			}
+		}
+		watch(0)
+	}
+
+	res := GoalResult{Goal: goal, Adaptations: make(map[string]int)}
+	avg := newFidelityAverager(regs)
+	sampler := rig.K.Every(500*time.Millisecond, func() { avg.observe(rig.K.Now()) })
+	sampler.Start()
+
+	done := false
+	finish := func(metNow bool) {
+		if done {
+			return
+		}
+		done = true
+		res.Met = metNow
+		res.Residual = supply.Residual()
+		res.EndTime = rig.K.Now()
+		mon.Stop()
+		sampler.Stop()
+		rig.K.Stop()
+	}
+	var watchEnd func()
+	watchEnd = func() {
+		if supply.Depleted() {
+			finish(rig.K.Now() >= goal)
+			return
+		}
+		if rig.K.Now() >= goal {
+			finish(true)
+			return
+		}
+		rig.K.After(250*time.Millisecond, watchEnd)
+	}
+	rig.K.After(250*time.Millisecond, watchEnd)
+
+	apps.StartGoalWorkload(compositePeriod, func() bool { return done })
+	rig.K.Run(goal + time.Hour)
+	if !done {
+		finish(rig.K.Now() >= goal)
+	}
+	avg.observe(res.EndTime)
+	res.MeanFidelity = avg.means()
+	for _, r := range regs {
+		res.Adaptations[r.App.Name()] = r.Adaptations
+	}
+	return res
+}
+
+// PolicyTable renders the comparison.
+func PolicyTable(rows []PolicyRow) *Table {
+	t := &Table{
+		Title:   "Extension: centralized goal-directed control vs decentralized energy thresholds",
+		Columns: []string{"Policy", "Goal", "Met", "Residual (J)", "Mean fidelity"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Policy,
+			fmt.Sprintf("%dm", int(r.Goal.Minutes())),
+			fmt.Sprintf("%.0f%%", r.MetPct),
+			r.Residual.String(),
+			fmt.Sprintf("%.2f", r.MeanFidelity),
+		})
+	}
+	return t
+}

@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"time"
+
+	"odyssey/internal/app/env"
+	"odyssey/internal/app/mapview"
+	"odyssey/internal/app/speech"
+	"odyssey/internal/app/video"
+	"odyssey/internal/app/web"
+	"odyssey/internal/sim"
+)
+
+// The "Fidelity Reduction" column of Figure 16 isolates the benefit of
+// lowering fidelity with hardware power management disabled. Each helper
+// returns a two-bar grid: baseline and lowest fidelity, both unmanaged.
+
+func figureVideoFidelityOnly(trials int) *Grid {
+	clips := video.StandardClips()
+	objects := make([]string, len(clips))
+	for i, c := range clips {
+		objects[i] = c.Name
+	}
+	bars := []Bar{{Label: BarBaseline}, {Label: "Lowest Fidelity (no mgmt)"}}
+	tracks := []video.Track{video.TrackBase, video.TrackCombined}
+	return RunGrid("video fidelity-only", objects, bars, trials, 1610,
+		func(oi, bi int) Trial {
+			clip, track := clips[oi], tracks[bi]
+			return func(rig *env.Rig, p *sim.Proc) {
+				video.PlayTrack(rig, p, clip, func() video.Track { return track })
+			}
+		})
+}
+
+func figureSpeechFidelityOnly(trials int) *Grid {
+	utts := speech.StandardUtterances()
+	objects := make([]string, len(utts))
+	for i, u := range utts {
+		objects[i] = u.Name
+	}
+	bars := []Bar{{Label: BarBaseline}, {Label: "Lowest Fidelity (no mgmt)"}}
+	cfgs := []speech.Config{
+		{Mode: speech.Local, Vocab: speech.FullVocab},
+		{Mode: speech.Hybrid, Vocab: speech.ReducedVocab},
+	}
+	return RunGrid("speech fidelity-only", objects, bars, trials, 1620,
+		func(oi, bi int) Trial {
+			u, cfg := utts[oi], cfgs[bi]
+			return func(rig *env.Rig, p *sim.Proc) {
+				speech.Recognize(rig, p, u, cfg)
+			}
+		})
+}
+
+func figureMapFidelityOnly(trials int, think time.Duration) *Grid {
+	maps := mapview.StandardMaps()
+	objects := make([]string, len(maps))
+	for i, m := range maps {
+		objects[i] = m.City
+	}
+	bars := []Bar{{Label: BarBaseline}, {Label: "Lowest Fidelity (no mgmt)"}}
+	cfgs := []mapview.Config{
+		{Filter: mapview.FullDetail},
+		{Filter: mapview.SecondaryRoadFilter, Cropped: true},
+	}
+	return RunGrid("map fidelity-only", objects, bars, trials, 1630+int64(think/time.Second),
+		func(oi, bi int) Trial {
+			m, cfg := maps[oi], cfgs[bi]
+			return func(rig *env.Rig, p *sim.Proc) {
+				mapview.View(rig, p, m, cfg, think)
+			}
+		})
+}
+
+func figureWebFidelityOnly(trials int, think time.Duration) *Grid {
+	images := web.StandardImages()
+	objects := make([]string, len(images))
+	for i, img := range images {
+		objects[i] = img.Name
+	}
+	bars := []Bar{{Label: BarBaseline}, {Label: "Lowest Fidelity (no mgmt)"}}
+	qs := []web.Quality{web.FullFidelity, web.JPEG5}
+	return RunGrid("web fidelity-only", objects, bars, trials, 1640+int64(think/time.Second),
+		func(oi, bi int) Trial {
+			img, q := images[oi], qs[bi]
+			return func(rig *env.Rig, p *sim.Proc) {
+				web.Fetch(rig, p, img, q, think)
+			}
+		})
+}

@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"odyssey/internal/app/env"
+	"odyssey/internal/app/video"
+	"odyssey/internal/sim"
+	"odyssey/internal/stats"
+	"odyssey/internal/workload"
+)
+
+// ConcurrencyCase is one of Figure 15's three configurations.
+type ConcurrencyCase struct {
+	Label string
+	// Setup prepares the rig (power management).
+	Setup Setup
+	// Lowest runs every application at its lowest fidelity.
+	Lowest bool
+}
+
+// ConcurrencyResult holds one case's pair of measurements.
+type ConcurrencyResult struct {
+	Label      string
+	Alone      stats.Summary // composite in isolation (J)
+	Concurrent stats.Summary // composite + background video (J)
+}
+
+// ExtraEnergyFraction reports how much more energy concurrent execution
+// used: E(concurrent)/E(alone) - 1.
+func (c ConcurrencyResult) ExtraEnergyFraction() float64 {
+	return stats.Ratio(c.Concurrent.Mean, c.Alone.Mean) - 1
+}
+
+// compositeIterations matches the paper's six-iteration composite runs.
+const compositeIterations = 6
+
+// Figure15 compares the energy of the composite application executing in
+// isolation against executing concurrently with the background video, for
+// baseline, hardware-only power management, and lowest-fidelity cases.
+func Figure15(trials int) []ConcurrencyResult {
+	mgmt := func(rig *env.Rig) { rig.EnablePowerMgmt() }
+	cases := []ConcurrencyCase{
+		{Label: BarBaseline},
+		{Label: BarHWOnly, Setup: mgmt},
+		{Label: "Lowest Fidelity", Setup: mgmt, Lowest: true},
+	}
+	out := make([]ConcurrencyResult, 0, len(cases))
+	for ci, c := range cases {
+		alone := make([]float64, 0, trials)
+		conc := make([]float64, 0, trials)
+		for t := 0; t < trials; t++ {
+			alone = append(alone, runConcurrencyTrial(int64(1500+ci*37+t), c, false))
+			conc = append(conc, runConcurrencyTrial(int64(1500+ci*37+t), c, true))
+		}
+		out = append(out, ConcurrencyResult{
+			Label:      c.Label,
+			Alone:      stats.Summarize(alone),
+			Concurrent: stats.Summarize(conc),
+		})
+	}
+	return out
+}
+
+// runConcurrencyTrial measures total energy for one composite run,
+// optionally with the background video playing for its whole duration.
+func runConcurrencyTrial(seed int64, c ConcurrencyCase, withVideo bool) float64 {
+	rig := env.NewRig(seed, 1)
+	if c.Setup != nil {
+		c.Setup(rig)
+	}
+	apps := workload.NewApps(rig)
+	if c.Lowest {
+		apps.SetAllLowest()
+	}
+	var energy float64
+	done := false
+	if withVideo {
+		rig.K.Spawn("video-bg", func(p *sim.Proc) {
+			clip := video.Clip{Name: "newsfeed", Length: 20 * time.Second}
+			apps.VideoLoop(p, clip, func() bool { return done })
+		})
+	}
+	rig.K.Spawn("composite", func(p *sim.Proc) {
+		cp := rig.M.Acct.Checkpoint()
+		apps.RunComposite(p, compositeIterations)
+		done = true
+		energy = cp.Since()
+	})
+	rig.K.Run(0)
+	// Include the video's tail chunk energy: total since start of run is
+	// what the paper measures (both applications on one client).
+	if withVideo {
+		energy = rig.M.Acct.TotalEnergy()
+	}
+	return energy
+}
+
+// ConcurrencyTable renders Figure 15's results.
+func ConcurrencyTable(rs []ConcurrencyResult) *Table {
+	t := &Table{
+		Title:   "Figure 15: effect of concurrent applications (composite alone vs with background video)",
+		Columns: []string{"Case", "Alone (J)", "Concurrent (J)", "Extra energy"},
+	}
+	for _, r := range rs {
+		t.Rows = append(t.Rows, []string{
+			r.Label,
+			r.Alone.String(),
+			r.Concurrent.String(),
+			fmt.Sprintf("+%.0f%%", r.ExtraEnergyFraction()*100),
+		})
+	}
+	return t
+}

@@ -1,0 +1,430 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"odyssey/internal/app/env"
+	"odyssey/internal/core"
+	"odyssey/internal/power"
+	"odyssey/internal/smartbattery"
+	"odyssey/internal/stats"
+	"odyssey/internal/workload"
+)
+
+// Goal-directed experiment constants. The paper used a 12,000 J supply with
+// its workload lasting 19:27 at highest fidelity and 27:06 at lowest; our
+// simulated workload draws more absolute power (see EXPERIMENTS.md), so the
+// supply is scaled to put the highest-fidelity runtime at the same ~19.5
+// minutes, preserving the paper's goal structure of 20-26 minutes (a 30%
+// spread in demanded battery life).
+const (
+	// Figure20InitialEnergy is the supply for the 20-26 minute goals.
+	Figure20InitialEnergy = 21_850.0
+	// Figure22InitialEnergy scales the paper's 90,000 J full battery the
+	// same way for the longer-duration bursty runs.
+	Figure22InitialEnergy = 164_000.0
+	// compositePeriod is how often a composite iteration begins in the
+	// goal-directed workload.
+	compositePeriod = 25 * time.Second
+)
+
+// GoalOptions parameterizes one goal-directed run.
+type GoalOptions struct {
+	Seed          int64
+	InitialEnergy float64
+	Goal          time.Duration
+	Config        core.EnergyConfig
+	// Bursty selects the stochastic workload of Figure 22 instead of the
+	// continuous composite+video workload.
+	Bursty bool
+	// ExtendAt/ExtendBy revise the goal mid-run (Figure 22 extends a
+	// 2:45 goal by 30 minutes after the first hour).
+	ExtendAt time.Duration
+	ExtendBy time.Duration
+	// RecordTrace captures supply/demand/fidelity at each evaluation.
+	RecordTrace bool
+	// EqualPriority registers every application at the same priority
+	// (ablation arm for the priority-ordered degradation policy).
+	EqualPriority bool
+	// SmartBattery replaces the prototype's external-multimeter
+	// measurement path with quantized, rate-limited SmartBattery
+	// readings, including the monitoring circuit's power overhead
+	// (the deployment path of Section 5.1.1).
+	SmartBattery bool
+	// Peukert, with SmartBattery, sets the pack's rate-dependence
+	// exponent (>1 drains faster at high load — the non-ideal battery
+	// behaviour the paper avoided by running from a bench supply).
+	Peukert float64
+	// DisableAdaptation runs the workload at a fixed fidelity instead of
+	// under the monitor (for measuring the feasible runtime band).
+	DisableAdaptation bool
+	// FixedLowest, with DisableAdaptation, pins the lowest fidelity.
+	FixedLowest bool
+}
+
+// GoalResult is the outcome of one goal-directed run.
+type GoalResult struct {
+	Goal        time.Duration
+	Met         bool
+	Residual    float64
+	EndTime     time.Duration
+	Adaptations map[string]int
+	Trace       []core.TracePoint
+	// MeanFidelity is the time-average normalized fidelity (0 = lowest,
+	// 1 = highest) per application — the paper's secondary goal is to
+	// "provide as high a fidelity as possible at all times".
+	MeanFidelity map[string]float64
+}
+
+// fidelityAverager accumulates time-weighted fidelity levels.
+type fidelityAverager struct {
+	apps    []*core.Registration
+	last    time.Duration
+	weights map[string]float64
+	total   time.Duration
+}
+
+func newFidelityAverager(apps []*core.Registration) *fidelityAverager {
+	return &fidelityAverager{apps: apps, weights: make(map[string]float64)}
+}
+
+// observe charges the interval since the last observation at each app's
+// current normalized level.
+func (fa *fidelityAverager) observe(now time.Duration) {
+	dt := now - fa.last
+	fa.last = now
+	if dt <= 0 {
+		return
+	}
+	fa.total += dt
+	for _, r := range fa.apps {
+		max := len(r.App.Levels()) - 1
+		norm := 1.0
+		if max > 0 {
+			norm = float64(r.App.Level()) / float64(max)
+		}
+		fa.weights[r.App.Name()] += norm * dt.Seconds()
+	}
+}
+
+// means returns the time-averaged normalized fidelity per application.
+func (fa *fidelityAverager) means() map[string]float64 {
+	out := make(map[string]float64, len(fa.weights))
+	if fa.total <= 0 {
+		return out
+	}
+	for name, w := range fa.weights {
+		out[name] = w / fa.total.Seconds()
+	}
+	return out
+}
+
+// RunGoal executes one goal-directed energy adaptation experiment.
+func RunGoal(opt GoalOptions) GoalResult {
+	rig := env.NewRig(opt.Seed, 1)
+	rig.EnablePowerMgmt()
+	apps := workload.NewApps(rig)
+	var regs []*core.Registration
+	if opt.EqualPriority {
+		for _, a := range []core.Adaptive{apps.Speech, apps.Video, apps.Map, apps.Web} {
+			regs = append(regs, rig.V.RegisterApp(a, 1))
+		}
+	} else {
+		regs = apps.Register()
+	}
+	apps.SetAllHighest()
+	if opt.DisableAdaptation && opt.FixedLowest {
+		apps.SetAllLowest()
+	}
+
+	cfg := opt.Config
+	if cfg.SamplePeriod == 0 {
+		cfg = core.DefaultEnergyConfig()
+	}
+	var (
+		em       *core.EnergyMonitor
+		residual func() float64
+		depleted func() bool
+	)
+	if opt.SmartBattery {
+		bcfg := smartbattery.DefaultConfig()
+		if opt.Peukert > 0 {
+			bcfg.PeukertExponent = opt.Peukert
+		}
+		bat := smartbattery.New(rig.K, rig.M.Acct, bcfg, opt.InitialEnergy)
+		bat.SetPolling(true)
+		em = core.NewEnergyMonitorSource(rig.V, smartbattery.Source{B: bat}, cfg)
+		residual = bat.TrueResidual
+		depleted = bat.Depleted
+	} else {
+		supply := power.NewSupply(rig.M.Acct, opt.InitialEnergy)
+		em = core.NewEnergyMonitor(rig.V, rig.M.Acct, supply, cfg)
+		residual = supply.Residual
+		depleted = supply.Depleted
+	}
+	em.SetGoal(opt.Goal)
+
+	res := GoalResult{Goal: opt.Goal, Adaptations: make(map[string]int)}
+	avg := newFidelityAverager(regs)
+	em.Trace = func(tp core.TracePoint) {
+		avg.observe(tp.Time)
+		if opt.RecordTrace {
+			res.Trace = append(res.Trace, tp)
+		}
+	}
+	if !opt.DisableAdaptation {
+		em.Start()
+	}
+
+	goal := opt.Goal
+	if opt.ExtendAt > 0 {
+		rig.K.At(opt.ExtendAt, func() {
+			goal = opt.Goal + opt.ExtendBy
+			em.SetGoal(goal)
+		})
+	}
+
+	done := false
+	finish := func(met bool) {
+		if done {
+			return
+		}
+		done = true
+		res.Met = met
+		res.Residual = residual()
+		res.EndTime = rig.K.Now()
+		em.Stop()
+		rig.K.Stop()
+	}
+	var watch func()
+	watch = func() {
+		if depleted() {
+			// The supply drained; the goal is met only if we
+			// reached it (DisableAdaptation runs measure runtime
+			// this way).
+			finish(rig.K.Now() >= goal)
+			return
+		}
+		if rig.K.Now() >= goal {
+			finish(true)
+			return
+		}
+		rig.K.After(250*time.Millisecond, watch)
+	}
+	rig.K.After(250*time.Millisecond, watch)
+
+	until := func() bool { return done }
+	if opt.Bursty {
+		apps.StartBurstyWorkload(workload.DefaultBurstyConfig(), until)
+	} else {
+		apps.StartGoalWorkload(compositePeriod, until)
+	}
+
+	horizon := goal + 4*time.Hour
+	rig.K.Run(horizon)
+	if !done {
+		finish(rig.K.Now() >= goal)
+	}
+	avg.observe(res.EndTime)
+	res.MeanFidelity = avg.means()
+	for _, r := range regs {
+		res.Adaptations[r.App.Name()] = r.Adaptations
+	}
+	return res
+}
+
+// RuntimeAtFixedFidelity measures how long the goal workload runs on the
+// supply with adaptation disabled — the feasible-band endpoints the paper
+// quotes (19:27 at highest fidelity, 27:06 at lowest, for 12,000 J).
+func RuntimeAtFixedFidelity(seed int64, initialEnergy float64, lowest bool) time.Duration {
+	r := RunGoal(GoalOptions{
+		Seed:              seed,
+		InitialEnergy:     initialEnergy,
+		Goal:              8 * time.Hour, // unreachable: run to depletion
+		DisableAdaptation: true,
+		FixedLowest:       lowest,
+	})
+	return r.EndTime
+}
+
+// GoalSummaryRow aggregates trials for one goal duration (Figure 20 rows).
+type GoalSummaryRow struct {
+	Goal        time.Duration
+	MetPct      float64
+	Residual    stats.Summary
+	Adaptations map[string]stats.Summary
+}
+
+// goalApps is the fixed reporting order for adaptation counts.
+var goalApps = []string{"speech", "video", "map", "web"}
+
+// summarizeGoalTrials aggregates a set of results for one configuration.
+func summarizeGoalTrials(results []GoalResult) GoalSummaryRow {
+	row := GoalSummaryRow{Adaptations: make(map[string]stats.Summary)}
+	if len(results) == 0 {
+		return row
+	}
+	row.Goal = results[0].Goal
+	met := 0
+	residuals := make([]float64, 0, len(results))
+	counts := make(map[string][]float64)
+	for _, r := range results {
+		if r.Met {
+			met++
+		}
+		residuals = append(residuals, r.Residual)
+		for _, app := range goalApps {
+			counts[app] = append(counts[app], float64(r.Adaptations[app]))
+		}
+	}
+	row.MetPct = float64(met) / float64(len(results)) * 100
+	row.Residual = stats.Summarize(residuals)
+	for _, app := range goalApps {
+		row.Adaptations[app] = stats.Summarize(counts[app])
+	}
+	return row
+}
+
+// Figure20 runs the goal-directed summary: battery-duration goals of 20,
+// 22, 24 and 26 minutes, five trials each, reporting goal success, residual
+// energy, and adaptation counts.
+func Figure20(trials int) []GoalSummaryRow {
+	goals := []time.Duration{20 * time.Minute, 22 * time.Minute, 24 * time.Minute, 26 * time.Minute}
+	rows := make([]GoalSummaryRow, 0, len(goals))
+	for gi, goal := range goals {
+		results := make([]GoalResult, 0, trials)
+		for t := 0; t < trials; t++ {
+			results = append(results, RunGoal(GoalOptions{
+				Seed:          int64(2000 + gi*17 + t),
+				InitialEnergy: Figure20InitialEnergy,
+				Goal:          goal,
+			}))
+		}
+		rows = append(rows, summarizeGoalTrials(results))
+	}
+	return rows
+}
+
+// Figure19 records the adaptation traces for the 20- and 26-minute goals.
+func Figure19() []GoalResult {
+	var out []GoalResult
+	for i, goal := range []time.Duration{20 * time.Minute, 26 * time.Minute} {
+		out = append(out, RunGoal(GoalOptions{
+			Seed:          int64(1900 + i),
+			InitialEnergy: Figure20InitialEnergy,
+			Goal:          goal,
+			RecordTrace:   true,
+		}))
+	}
+	return out
+}
+
+// HalfLifeRow is one row of Figure 21.
+type HalfLifeRow struct {
+	HalfLife float64
+	GoalSummaryRow
+}
+
+// Figure21 sweeps the smoothing half-life (as a fraction of remaining time)
+// at the hardest goal, reproducing the paper's sensitivity analysis.
+func Figure21(trials int) []HalfLifeRow {
+	rows := []HalfLifeRow{}
+	for hi, hl := range []float64{0.01, 0.05, 0.10, 0.15} {
+		cfg := core.DefaultEnergyConfig()
+		cfg.HalfLifeFraction = hl
+		results := make([]GoalResult, 0, trials)
+		for t := 0; t < trials; t++ {
+			results = append(results, RunGoal(GoalOptions{
+				Seed:          int64(2100 + hi*23 + t),
+				InitialEnergy: Figure20InitialEnergy,
+				Goal:          26 * time.Minute,
+				Config:        cfg,
+			}))
+		}
+		rows = append(rows, HalfLifeRow{HalfLife: hl, GoalSummaryRow: summarizeGoalTrials(results)})
+	}
+	return rows
+}
+
+// Figure22 runs the longer-duration bursty experiments: a 2:45 goal
+// extended by 30 minutes at the end of the first hour, on the scaled
+// full-battery supply, with the stochastic workload.
+func Figure22(trials int) []GoalResult {
+	out := make([]GoalResult, 0, trials)
+	for t := 0; t < trials; t++ {
+		out = append(out, RunGoal(GoalOptions{
+			Seed:          int64(2200 + t),
+			InitialEnergy: Figure22InitialEnergy,
+			Goal:          2*time.Hour + 45*time.Minute,
+			Bursty:        true,
+			ExtendAt:      time.Hour,
+			ExtendBy:      30 * time.Minute,
+		}))
+	}
+	return out
+}
+
+// GoalTable renders Figure 20 (or 21 rows without the half-life column).
+func GoalTable(title string, rows []GoalSummaryRow) *Table {
+	t := &Table{
+		Title:   title,
+		Columns: []string{"Goal", "Met", "Residual (J)", "Adapt speech", "Adapt video", "Adapt map", "Adapt web"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d:%02d", int(r.Goal.Minutes()), int(r.Goal.Seconds())%60),
+			fmt.Sprintf("%.0f%%", r.MetPct),
+			r.Residual.String(),
+			r.Adaptations["speech"].String(),
+			r.Adaptations["video"].String(),
+			r.Adaptations["map"].String(),
+			r.Adaptations["web"].String(),
+		})
+	}
+	return t
+}
+
+// HalfLifeTable renders Figure 21.
+func HalfLifeTable(rows []HalfLifeRow) *Table {
+	t := &Table{
+		Title:   "Figure 21: sensitivity to smoothing half-life (26-minute goal)",
+		Columns: []string{"Half-life", "Met", "Residual (J)", "Adapt speech", "Adapt video", "Adapt map", "Adapt web"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", r.HalfLife),
+			fmt.Sprintf("%.0f%%", r.MetPct),
+			r.Residual.String(),
+			r.Adaptations["speech"].String(),
+			r.Adaptations["video"].String(),
+			r.Adaptations["map"].String(),
+			r.Adaptations["web"].String(),
+		})
+	}
+	return t
+}
+
+// BurstyTable renders Figure 22.
+func BurstyTable(results []GoalResult) *Table {
+	t := &Table{
+		Title:   "Figure 22: longer-duration goal-directed adaptation (bursty workloads, goal 2:45 extended to 3:15 at t=1h)",
+		Columns: []string{"Trial", "Goal met", "Residual (J)", "Adapt speech", "Adapt video", "Adapt map", "Adapt web"},
+	}
+	for i, r := range results {
+		met := "Yes"
+		if !r.Met {
+			met = "No"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", i+1),
+			met,
+			fmt.Sprintf("%.0f", r.Residual),
+			fmt.Sprintf("%d", r.Adaptations["speech"]),
+			fmt.Sprintf("%d", r.Adaptations["video"]),
+			fmt.Sprintf("%d", r.Adaptations["map"]),
+			fmt.Sprintf("%d", r.Adaptations["web"]),
+		})
+	}
+	return t
+}

@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"odyssey/internal/app/env"
+	"odyssey/internal/app/speech"
+	"odyssey/internal/hw"
+	"odyssey/internal/sim"
+)
+
+// Figure 8 bar labels, in the paper's order.
+const (
+	BarReducedModel  = "Reduced Model"
+	BarRemote        = "Remote"
+	BarRemoteReduced = "Remote Reduced Model"
+	BarHybrid        = "Hybrid"
+	BarHybridReduced = "Hybrid Reduced Model"
+)
+
+// speechSetup enables hardware power management for the speech workload,
+// which includes turning the display off — user interaction is through
+// speech alone, so the paper's managed runs power the panel down.
+func speechSetup(rig *env.Rig) {
+	rig.EnablePowerMgmt()
+	rig.M.Display.SetAll(hw.BacklightOff)
+}
+
+// Figure8 measures client energy to recognize the four utterances under
+// local, remote and hybrid strategies at high and low fidelity (the paper's
+// Figure 8: 4 utterances x 7 bars, 5 trials each).
+func Figure8(trials int) *Grid {
+	utts := speech.StandardUtterances()
+	objects := make([]string, len(utts))
+	for i, u := range utts {
+		objects[i] = u.Name
+	}
+	bars := []Bar{
+		{Label: BarBaseline},
+		{Label: BarHWOnly, Setup: speechSetup},
+		{Label: BarReducedModel, Setup: speechSetup},
+		{Label: BarRemote, Setup: speechSetup},
+		{Label: BarRemoteReduced, Setup: speechSetup},
+		{Label: BarHybrid, Setup: speechSetup},
+		{Label: BarHybridReduced, Setup: speechSetup},
+	}
+	cfgs := []speech.Config{
+		{Mode: speech.Local, Vocab: speech.FullVocab},
+		{Mode: speech.Local, Vocab: speech.FullVocab},
+		{Mode: speech.Local, Vocab: speech.ReducedVocab},
+		{Mode: speech.Remote, Vocab: speech.FullVocab},
+		{Mode: speech.Remote, Vocab: speech.ReducedVocab},
+		{Mode: speech.Hybrid, Vocab: speech.FullVocab},
+		{Mode: speech.Hybrid, Vocab: speech.ReducedVocab},
+	}
+	return RunGrid("Figure 8: energy impact of fidelity for speech recognition",
+		objects, bars, trials, 800,
+		func(oi, bi int) Trial {
+			u, cfg := utts[oi], cfgs[bi]
+			return func(rig *env.Rig, p *sim.Proc) {
+				speech.Recognize(rig, p, u, cfg)
+			}
+		})
+}

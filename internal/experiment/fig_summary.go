@@ -1,0 +1,111 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+)
+
+// SummaryRow is one row of Figure 16: an application at one think time,
+// with min-max normalized energy for each strategy.
+type SummaryRow struct {
+	Application string
+	ThinkTime   time.Duration // negative means not applicable
+	// Ranges are (lo, hi) of energy normalized to the baseline.
+	HWOnly   [2]float64
+	Fidelity [2]float64 // fidelity reduction alone (no hardware mgmt)
+	Combined [2]float64 // both techniques
+}
+
+// Summary16 is the Figure 16 table data.
+type Summary16 struct {
+	Rows []SummaryRow
+	// MeanCombined is the mean normalized energy of the Combined column
+	// (the paper reports 0.64, i.e. a 36% mean saving, at the default
+	// five-second think time).
+	MeanCombined float64
+	// MeanFidelity is the mean normalized energy of fidelity reduction
+	// alone.
+	MeanFidelity float64
+}
+
+// Figure16 derives the normalized summary from the per-application figures.
+// For tractability it runs the video and speech grids once, and the map and
+// web grids at each think time, with the given trials per cell. "Fidelity
+// reduction" alone is measured with hardware power management disabled at
+// the lowest fidelity, per the paper's definition.
+func Figure16(trials int) *Summary16 {
+	s := &Summary16{}
+	var combinedAtDefault []float64
+	var fidelityAtDefault []float64
+
+	record := func(app string, think time.Duration, g *Grid, lowestBar int, fidelityOnly *Grid, fidelityBar int) {
+		row := SummaryRow{Application: app, ThinkTime: think}
+		lo, hi := g.NormalizedRange(1, 0) // hw-only vs baseline
+		row.HWOnly = [2]float64{lo, hi}
+		lo, hi = g.NormalizedRange(lowestBar, 0) // combined vs baseline
+		row.Combined = [2]float64{lo, hi}
+		lo, hi = fidelityOnly.NormalizedRange(fidelityBar, 0)
+		row.Fidelity = [2]float64{lo, hi}
+		s.Rows = append(s.Rows, row)
+		if think < 0 || think == 5*time.Second {
+			combinedAtDefault = append(combinedAtDefault, (row.Combined[0]+row.Combined[1])/2)
+			fidelityAtDefault = append(fidelityAtDefault, (row.Fidelity[0]+row.Fidelity[1])/2)
+		}
+	}
+
+	// Video: no think-time dimension.
+	g6 := Figure6(trials)
+	g6f := figureVideoFidelityOnly(trials)
+	record("Video", -1, g6, g6.BarIndex(BarCombined), g6f, 1)
+
+	// Speech: no think-time dimension; lowest is hybrid+reduced.
+	g8 := Figure8(trials)
+	g8f := figureSpeechFidelityOnly(trials)
+	record("Speech", -1, g8, g8.BarIndex(BarHybridReduced), g8f, 1)
+
+	for _, think := range []time.Duration{0, 5 * time.Second, 10 * time.Second, 20 * time.Second} {
+		gm := figureMap(trials, think, 1600+int64(think/time.Second))
+		gmf := figureMapFidelityOnly(trials, think)
+		record("Map", think, gm, gm.BarIndex(BarCroppedSecondary), gmf, 1)
+	}
+	for _, think := range []time.Duration{0, 5 * time.Second, 10 * time.Second, 20 * time.Second} {
+		gw := figureWeb(trials, think, 1700+int64(think/time.Second))
+		gwf := figureWebFidelityOnly(trials, think)
+		record("Web", think, gw, gw.BarIndex("JPEG-5"), gwf, 1)
+	}
+
+	s.MeanCombined = mean(combinedAtDefault)
+	s.MeanFidelity = mean(fidelityAtDefault)
+	return s
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}
+
+// Table renders Figure 16.
+func (s *Summary16) Table() *Table {
+	t := &Table{
+		Title:   "Figure 16: summary of energy impact of fidelity (normalized to baseline)",
+		Columns: []string{"Application", "Think (s)", "Baseline", "HW Power Mgmt.", "Fidelity Reduction", "Combined"},
+	}
+	rng := func(r [2]float64) string { return fmt.Sprintf("%.2f-%.2f", r[0], r[1]) }
+	for _, r := range s.Rows {
+		think := "N/A"
+		if r.ThinkTime >= 0 {
+			think = fmt.Sprintf("%d", int(r.ThinkTime.Seconds()))
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Application, think, "1.00", rng(r.HWOnly), rng(r.Fidelity), rng(r.Combined),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"Mean (combined, 5s)", "", "", "", fmt.Sprintf("%.2f", s.MeanFidelity), fmt.Sprintf("%.2f", s.MeanCombined)})
+	return t
+}

@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"odyssey/internal/app/env"
+	"odyssey/internal/app/video"
+	"odyssey/internal/sim"
+)
+
+// Figure 6 bar labels, in the paper's order.
+const (
+	BarBaseline      = "Baseline"
+	BarHWOnly        = "Hardware-Only Power Mgmt."
+	BarPremiereB     = "Premiere-B"
+	BarPremiereC     = "Premiere-C"
+	BarReducedWindow = "Reduced Window"
+	BarCombined      = "Combined"
+)
+
+// videoBars returns the six configurations of Figure 6.
+func videoBars() ([]Bar, []video.Track) {
+	mgmt := func(rig *env.Rig) { rig.EnablePowerMgmt() }
+	bars := []Bar{
+		{Label: BarBaseline},
+		{Label: BarHWOnly, Setup: mgmt},
+		{Label: BarPremiereB, Setup: mgmt},
+		{Label: BarPremiereC, Setup: mgmt},
+		{Label: BarReducedWindow, Setup: mgmt},
+		{Label: BarCombined, Setup: mgmt},
+	}
+	tracks := []video.Track{
+		video.TrackBase,
+		video.TrackBase,
+		video.TrackPremiereB,
+		video.TrackPremiereC,
+		video.TrackReducedWindow,
+		video.TrackCombined,
+	}
+	return bars, tracks
+}
+
+// Figure6 measures the energy to display the four videos at each fidelity
+// (the paper's Figure 6: 4 clips x 6 bars, 5 trials each).
+func Figure6(trials int) *Grid {
+	clips := video.StandardClips()
+	objects := make([]string, len(clips))
+	for i, c := range clips {
+		objects[i] = c.Name
+	}
+	bars, tracks := videoBars()
+	return RunGrid("Figure 6: energy impact of fidelity for video playing",
+		objects, bars, trials, 600,
+		func(oi, bi int) Trial {
+			clip, track := clips[oi], tracks[bi]
+			return func(rig *env.Rig, p *sim.Proc) {
+				video.PlayTrack(rig, p, clip, func() video.Track { return track })
+			}
+		})
+}

@@ -1,0 +1,143 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"odyssey/internal/app/env"
+	"odyssey/internal/app/mapview"
+	"odyssey/internal/app/video"
+	"odyssey/internal/sim"
+)
+
+// ZonedRow is one row of Figure 18: an application (and think time, for the
+// map viewer) with normalized energy under no-zone / 4-zone / 8-zone
+// displays at full and lowest fidelity. All entries are normalized to the
+// unmanaged, unzoned, full-fidelity baseline, as in the paper.
+type ZonedRow struct {
+	Application string
+	ThinkTime   time.Duration // negative means not applicable
+	// HWOnly[z] and Combined[z] are (lo, hi) normalized energy ranges
+	// across data objects for z in {no zones, 4 zones, 8 zones};
+	// Combined is at lowest fidelity.
+	HWOnly   [3][2]float64
+	Combined [3][2]float64
+}
+
+// zoneCounts are the display variants of Figure 18.
+var zoneCounts = []int{1, 4, 8}
+
+// Figure18 projects the energy impact of zoned backlighting for the video
+// and map applications (the two whose windows leave screen area free; the
+// display is off for speech and Netscape is nearly full-screen).
+func Figure18(trials int) []ZonedRow {
+	rows := []ZonedRow{zonedVideoRow(trials)}
+	for _, think := range []time.Duration{0, 5 * time.Second, 10 * time.Second, 20 * time.Second} {
+		rows = append(rows, zonedMapRow(trials, think))
+	}
+	return rows
+}
+
+// zonedBars builds the seven-bar layout shared by both applications:
+// baseline, then hw-only and lowest fidelity at each zone count.
+func zonedBars() []Bar {
+	bars := []Bar{{Label: BarBaseline}}
+	for _, z := range zoneCounts {
+		z := z
+		bars = append(bars, Bar{
+			Label: fmt.Sprintf("HW-only %dz", z),
+			Zones: z,
+			Setup: func(rig *env.Rig) {
+				rig.EnablePowerMgmt()
+				rig.ZonedPolicy = z > 1
+			},
+		})
+	}
+	for _, z := range zoneCounts {
+		z := z
+		bars = append(bars, Bar{
+			Label: fmt.Sprintf("Lowest %dz", z),
+			Zones: z,
+			Setup: func(rig *env.Rig) {
+				rig.EnablePowerMgmt()
+				rig.ZonedPolicy = z > 1
+			},
+		})
+	}
+	return bars
+}
+
+// rowFromGrid extracts the normalized ranges from a 7-bar zoned grid.
+func rowFromGrid(app string, think time.Duration, g *Grid) ZonedRow {
+	row := ZonedRow{Application: app, ThinkTime: think}
+	for zi := range zoneCounts {
+		lo, hi := g.NormalizedRange(1+zi, 0)
+		row.HWOnly[zi] = [2]float64{lo, hi}
+		lo, hi = g.NormalizedRange(4+zi, 0)
+		row.Combined[zi] = [2]float64{lo, hi}
+	}
+	return row
+}
+
+func zonedVideoRow(trials int) ZonedRow {
+	clips := video.StandardClips()
+	objects := make([]string, len(clips))
+	for i, c := range clips {
+		objects[i] = c.Name
+	}
+	g := RunGrid("Figure 18 (video)", objects, zonedBars(), trials, 1800,
+		func(oi, bi int) Trial {
+			clip := clips[oi]
+			track := video.TrackBase
+			if bi >= 4 { // lowest-fidelity bars
+				track = video.TrackCombined
+			}
+			return func(rig *env.Rig, p *sim.Proc) {
+				video.PlayTrack(rig, p, clip, func() video.Track { return track })
+			}
+		})
+	return rowFromGrid("Video", -1, g)
+}
+
+func zonedMapRow(trials int, think time.Duration) ZonedRow {
+	maps := mapview.StandardMaps()
+	objects := make([]string, len(maps))
+	for i, m := range maps {
+		objects[i] = m.City
+	}
+	g := RunGrid("Figure 18 (map)", objects, zonedBars(), trials, 1850+int64(think/time.Second),
+		func(oi, bi int) Trial {
+			m := maps[oi]
+			cfg := mapview.Config{Filter: mapview.FullDetail}
+			if bi >= 4 {
+				cfg = mapview.Config{Filter: mapview.SecondaryRoadFilter, Cropped: true}
+			}
+			return func(rig *env.Rig, p *sim.Proc) {
+				mapview.View(rig, p, m, cfg, think)
+			}
+		})
+	return rowFromGrid("Map", think, g)
+}
+
+// ZonedTable renders Figure 18.
+func ZonedTable(rows []ZonedRow) *Table {
+	t := &Table{
+		Title: "Figure 18: projected energy impact of zoned backlighting (normalized to baseline)",
+		Columns: []string{"App", "Think (s)",
+			"HW-only", "HW 4-zone", "HW 8-zone",
+			"Lowest", "Lowest 4-zone", "Lowest 8-zone"},
+	}
+	rng := func(r [2]float64) string { return fmt.Sprintf("%.2f-%.2f", r[0], r[1]) }
+	for _, r := range rows {
+		think := "N/A"
+		if r.ThinkTime >= 0 {
+			think = fmt.Sprintf("%d", int(r.ThinkTime.Seconds()))
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Application, think,
+			rng(r.HWOnly[0]), rng(r.HWOnly[1]), rng(r.HWOnly[2]),
+			rng(r.Combined[0]), rng(r.Combined[1]), rng(r.Combined[2]),
+		})
+	}
+	return t
+}

@@ -1,0 +1,267 @@
+// Package experiment contains the evaluation harness: one runner per table
+// and figure of the paper, each regenerating the corresponding result from
+// the simulated testbed (workload generation, parameter sweep, baselines,
+// and the same rows/series the paper reports).
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"odyssey/internal/app/env"
+	"odyssey/internal/sim"
+	"odyssey/internal/stats"
+)
+
+// Trial runs one workload execution on a fresh rig and returns when the
+// workload completes.
+type Trial func(rig *env.Rig, p *sim.Proc)
+
+// Setup prepares a rig before the workload starts (power-management policy,
+// display policy, zoned-backlight policy).
+type Setup func(rig *env.Rig)
+
+// Bar is one experimental configuration — a bar in the paper's charts.
+type Bar struct {
+	Label string
+	Setup Setup
+	// Zones overrides the display zone count (0 means conventional 1).
+	Zones int
+}
+
+// Cell is the measurement for one (data object, bar) pair.
+type Cell struct {
+	Energy    stats.Summary
+	Duration  stats.Summary
+	Breakdown map[string]float64 // mean joules per software principal
+}
+
+// Grid is a full figure's data: objects x bars.
+type Grid struct {
+	Title   string
+	Objects []string
+	Bars    []string
+	Cells   [][]Cell // [object][bar]
+}
+
+// RunGrid measures every (object, bar) cell with the given number of
+// trials. trialFor returns the workload for an object under a bar
+// configuration. baseSeed separates figures so their random streams differ.
+func RunGrid(title string, objects []string, bars []Bar, trials int, baseSeed int64,
+	trialFor func(object int, bar int) Trial) *Grid {
+
+	g := &Grid{Title: title, Objects: objects}
+	for _, b := range bars {
+		g.Bars = append(g.Bars, b.Label)
+	}
+	g.Cells = make([][]Cell, len(objects))
+	for oi := range objects {
+		g.Cells[oi] = make([]Cell, len(bars))
+		for bi, bar := range bars {
+			g.Cells[oi][bi] = runCell(trials, baseSeed+int64(oi*1009+bi*101), bar, trialFor(oi, bi))
+		}
+	}
+	return g
+}
+
+// runCell executes trials of one configuration and aggregates.
+func runCell(trials int, seed int64, bar Bar, trial Trial) Cell {
+	energies := make([]float64, 0, trials)
+	durations := make([]float64, 0, trials)
+	breakdown := make(map[string]float64)
+	for t := 0; t < trials; t++ {
+		zones := bar.Zones
+		if zones == 0 {
+			zones = 1
+		}
+		rig := env.NewRig(seed*7919+int64(t)+1, zones)
+		if bar.Setup != nil {
+			bar.Setup(rig)
+		}
+		var (
+			energy   float64
+			duration time.Duration
+			before   map[string]float64
+		)
+		rig.K.Spawn("workload", func(p *sim.Proc) {
+			before = rig.M.Acct.EnergyByPrincipal()
+			cp := rig.M.Acct.Checkpoint()
+			start := p.Now()
+			trial(rig, p)
+			energy = cp.Since()
+			duration = p.Now() - start
+		})
+		rig.K.Run(0)
+		energies = append(energies, energy)
+		durations = append(durations, duration.Seconds())
+		after := rig.M.Acct.EnergyByPrincipal()
+		for k, v := range after {
+			breakdown[k] += (v - before[k]) / float64(trials)
+		}
+	}
+	return Cell{
+		Energy:    stats.Summarize(energies),
+		Duration:  stats.Summarize(durations),
+		Breakdown: breakdown,
+	}
+}
+
+// Savings returns the fractional energy reduction of bar relative to ref
+// for one object: 1 - E(bar)/E(ref).
+func (g *Grid) Savings(object, bar, ref int) float64 {
+	return 1 - stats.Ratio(g.Cells[object][bar].Energy.Mean, g.Cells[object][ref].Energy.Mean)
+}
+
+// SavingsRange returns the min and max savings of bar vs ref across all
+// objects — the "X-Y%" ranges quoted throughout the paper.
+func (g *Grid) SavingsRange(bar, ref int) (lo, hi float64) {
+	lo, hi = 1, -1
+	for oi := range g.Objects {
+		s := g.Savings(oi, bar, ref)
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	return lo, hi
+}
+
+// NormalizedRange returns min and max of E(bar)/E(ref) across objects
+// (Figure 16's entries).
+func (g *Grid) NormalizedRange(bar, ref int) (lo, hi float64) {
+	slo, shi := g.SavingsRange(bar, ref)
+	return 1 - shi, 1 - slo
+}
+
+// BarIndex returns the index of a bar label, or -1.
+func (g *Grid) BarIndex(label string) int {
+	for i, b := range g.Bars {
+		if b == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// Table renders the grid as the paper presents it: one row per data object,
+// mean energy (J) ± 90% CI per bar.
+func (g *Grid) Table() *Table {
+	t := &Table{Title: g.Title, Columns: append([]string{"Object"}, g.Bars...)}
+	for oi, obj := range g.Objects {
+		row := []string{obj}
+		for bi := range g.Bars {
+			row = append(row, g.Cells[oi][bi].Energy.String())
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// BreakdownTable renders the mean per-principal energy for every bar of one
+// object — the shaded segments of the paper's bars.
+func (g *Grid) BreakdownTable(object int) *Table {
+	// Collect principals across bars, largest first by total.
+	totals := map[string]float64{}
+	for bi := range g.Bars {
+		for k, v := range g.Cells[object][bi].Breakdown {
+			totals[k] += v
+		}
+	}
+	names := make([]string, 0, len(totals))
+	for n := range totals {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if totals[names[i]] != totals[names[j]] {
+			return totals[names[i]] > totals[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	t := &Table{
+		Title:   fmt.Sprintf("%s — %s energy by software component (J)", g.Title, g.Objects[object]),
+		Columns: append([]string{"Component"}, g.Bars...),
+	}
+	for _, n := range names {
+		row := []string{n}
+		for bi := range g.Bars {
+			row = append(row, fmt.Sprintf("%.1f", g.Cells[object][bi].Breakdown[n]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table is a rendered result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	quote := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return fmt.Sprintf("%q", s)
+		}
+		return s
+	}
+	cells := make([]string, 0, len(t.Columns))
+	for _, c := range t.Columns {
+		cells = append(cells, quote(c))
+	}
+	b.WriteString(strings.Join(cells, ","))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		cells = cells[:0]
+		for _, c := range r {
+			cells = append(cells, quote(c))
+		}
+		b.WriteString(strings.Join(cells, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}

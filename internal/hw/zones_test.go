@@ -1,0 +1,204 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"odyssey/internal/power"
+	"odyssey/internal/sim"
+)
+
+func TestGridForZones(t *testing.T) {
+	for _, c := range []struct {
+		zones, rows, cols int
+	}{
+		{1, 1, 1}, {4, 2, 2}, {8, 2, 4},
+	} {
+		g, err := GridForZones(c.zones)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Rows != c.rows || g.Cols != c.cols {
+			t.Fatalf("%d zones -> %dx%d, want %dx%d", c.zones, g.Rows, g.Cols, c.rows, c.cols)
+		}
+	}
+	if _, err := GridForZones(6); err == nil {
+		t.Fatal("nonstandard zone count accepted")
+	}
+}
+
+func TestCoveredCounts(t *testing.T) {
+	g4 := ZoneGrid{2, 2}
+	g8 := ZoneGrid{2, 4}
+	cases := []struct {
+		g    ZoneGrid
+		r    Rect
+		want int
+	}{
+		// A quadrant-sized window in a corner covers one zone of 2x2.
+		{g4, Rect{0, 0, 0.5, 0.5}, 1},
+		// Centered, the same window straddles all four.
+		{g4, Rect{0.25, 0.25, 0.5, 0.5}, 4},
+		// Full screen covers everything.
+		{g4, Rect{0, 0, 1, 1}, 4},
+		{g8, Rect{0, 0, 1, 1}, 8},
+		// The paper's full-size video window (0.47 square): one zone of
+		// 2x2, two of 2x4, when corner-placed.
+		{g4, Rect{0, 0, 0.47, 0.47}, 1},
+		{g8, Rect{0, 0, 0.47, 0.47}, 2},
+		// Boundary-aligned edges do not leak into the next zone.
+		{g4, Rect{0.5, 0, 0.5, 0.5}, 1},
+		// Empty window covers nothing.
+		{g4, Rect{0.2, 0.2, 0, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := c.g.Covered(c.r); got != c.want {
+			t.Errorf("%+v covered(%+v) = %d, want %d", c.g, c.r, got, c.want)
+		}
+	}
+}
+
+func TestSnapToReachesMinimum(t *testing.T) {
+	g := ZoneGrid{2, 2}
+	// A quadrant-sized window centered on the screen straddles 4 zones;
+	// snap-to must slide it onto a single zone.
+	r := Rect{0.25, 0.25, 0.5, 0.5}
+	snapped := g.SnapTo(r)
+	if got := g.Covered(snapped); got != 1 {
+		t.Fatalf("snapped coverage %d, want 1", got)
+	}
+	if snapped.W != r.W || snapped.H != r.H {
+		t.Fatal("snap changed the window size")
+	}
+}
+
+func TestSnapToPrefersSmallMoves(t *testing.T) {
+	g := ZoneGrid{2, 2}
+	// Already minimal: snap must not move it.
+	r := Rect{0.1, 0.1, 0.3, 0.3}
+	snapped := g.SnapTo(r)
+	if snapped != r {
+		t.Fatalf("snap moved an already-minimal window: %+v -> %+v", r, snapped)
+	}
+}
+
+// TestFigure18Geometry checks the zone counts behind the paper's Figure 18
+// narrative, using the window shapes of the applications.
+func TestFigure18Geometry(t *testing.T) {
+	g4, _ := GridForZones(4)
+	g8, _ := GridForZones(8)
+	video := Rect{W: 0.47, H: 0.47}     // full-fidelity video window
+	videoSm := Rect{W: 0.235, H: 0.235} // half height and width
+	mapFull := Rect{W: 0.72, H: 0.80}
+	mapCrop := Rect{W: 0.72, H: 0.45}
+
+	cases := []struct {
+		name string
+		g    ZoneGrid
+		r    Rect
+		want int
+	}{
+		{"video fits one zone of four", g4, video, 1},
+		{"video needs two zones of eight", g8, video, 2},
+		{"reduced video fits one zone of four", g4, videoSm, 1},
+		{"reduced video fits one zone of eight", g8, videoSm, 1},
+		{"full map occupies all four zones", g4, mapFull, 4},
+		{"full map occupies six zones of eight", g8, mapFull, 6},
+		{"cropped map occupies two zones of four", g4, mapCrop, 2},
+		{"cropped map occupies three zones of eight", g8, mapCrop, 3},
+	}
+	for _, c := range cases {
+		snapped := c.g.SnapTo(c.r)
+		if got := c.g.Covered(snapped); got != c.want {
+			t.Errorf("%s: covered %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// Property: snapping never increases coverage, never resizes, and always
+// reaches the geometric minimum; the result stays on screen.
+func TestSnapToProperties(t *testing.T) {
+	prop := func(x8, y8, w8, h8 uint8, pick uint8) bool {
+		g := []ZoneGrid{{1, 1}, {2, 2}, {2, 4}, {3, 3}, {4, 2}}[pick%5]
+		r := Rect{
+			X: float64(x8%100) / 100,
+			Y: float64(y8%100) / 100,
+			W: 0.05 + float64(w8%90)/100,
+			H: 0.05 + float64(h8%90)/100,
+		}
+		before := g.Covered(r)
+		s := g.SnapTo(r)
+		after := g.Covered(s)
+		if after > before {
+			return false
+		}
+		if s.W != r.clamp().W || s.H != r.clamp().H {
+			return false
+		}
+		if after != g.MinCovered(r) {
+			return false
+		}
+		if s.X < -1e-9 || s.Y < -1e-9 || s.X+s.W > 1+1e-9 || s.Y+s.H > 1+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoveredZonesIndexes(t *testing.T) {
+	g := ZoneGrid{2, 4}
+	zones := g.CoveredZones(Rect{X: 0.5, Y: 0, W: 0.49, H: 0.49})
+	// Right half of the top row: columns 2,3 of row 0 -> indexes 2, 3.
+	if len(zones) != 2 || zones[0] != 2 || zones[1] != 3 {
+		t.Fatalf("covered zones %v, want [2 3]", zones)
+	}
+	if got := g.CoveredZones(Rect{W: 0, H: 0}); got != nil {
+		t.Fatalf("empty window covered %v", got)
+	}
+}
+
+func TestIlluminateWindow(t *testing.T) {
+	k := sim.NewKernel(1)
+	acct := power.NewAccountant(k)
+	prof := ThinkPad560X()
+	d := NewDisplay(acct, prof, 4)
+	g, _ := GridForZones(4)
+	// A centered quadrant window snaps to one zone: 1 bright + 3 dim.
+	d.IlluminateWindow(g, Rect{0.25, 0.25, 0.5, 0.5}, BacklightBright, BacklightDim)
+	want := prof.DisplayBright/4 + 3*prof.DisplayDim/4
+	if got := d.Power(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("power %v, want %v", got, want)
+	}
+	bright := 0
+	for i := 0; i < d.Zones(); i++ {
+		if d.Zone(i) == BacklightBright {
+			bright++
+		}
+	}
+	if bright != 1 {
+		t.Fatalf("%d bright zones, want 1", bright)
+	}
+}
+
+func TestIlluminateWindowGridMismatchPanics(t *testing.T) {
+	k := sim.NewKernel(1)
+	acct := power.NewAccountant(k)
+	d := NewDisplay(acct, ThinkPad560X(), 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("grid/display mismatch did not panic")
+		}
+	}()
+	d.IlluminateWindow(ZoneGrid{2, 4}, Rect{0, 0, 0.5, 0.5}, BacklightBright, BacklightOff)
+}
+
+func TestRectClamp(t *testing.T) {
+	r := Rect{X: 0.8, Y: -0.2, W: 0.5, H: 1.5}.clamp()
+	if r.X+r.W > 1+1e-12 || r.Y < 0 || r.H != 1 {
+		t.Fatalf("clamp produced %+v", r)
+	}
+}

@@ -1,0 +1,167 @@
+// Package netsim models the wireless network of the paper's testbed: a
+// 2 Mb/s WaveLAN link shared by all traffic, remote servers, and the
+// Odyssey communication package's power policy (the paper modified it to
+// keep the interface in standby except during remote procedure calls and
+// bulk transfers).
+//
+// Receiving and transmitting burn client CPU in interrupt handlers and
+// kernel protocol processing; PowerScope attributes that energy to
+// "Interrupts-WaveLAN" and "Kernel", and so do we.
+package netsim
+
+import (
+	"time"
+
+	"odyssey/internal/hw"
+	"odyssey/internal/sim"
+)
+
+// Principals used for network-related CPU attribution.
+const (
+	PrincipalInterrupts = "Interrupts-WaveLAN"
+	PrincipalKernel     = "Kernel"
+)
+
+// Tunables for client-side per-byte CPU costs (assumptions; see DESIGN.md).
+const (
+	// irqCPUPerByte is interrupt-handler cpu-seconds per transferred byte
+	// (~12% of the CPU at full link rate).
+	irqCPUPerByte = 6.0e-7
+	// kernelCPUPerByte is protocol-stack cpu-seconds per transferred byte.
+	kernelCPUPerByte = 2.5e-7
+)
+
+// Network is the client's view of the wireless link.
+type Network struct {
+	k    *sim.Kernel
+	m    *hw.Machine
+	link *sim.PSResource
+
+	// StandbyPolicy enables the modified communication package: the
+	// interface dozes except during RPCs and bulk transfers. Off in the
+	// paper's baseline runs, on under hardware power management.
+	StandbyPolicy bool
+
+	holds int // RPC/transfer spans keeping the NIC awake
+	xfers int // byte flows keeping the NIC in transfer state
+
+	bytesMoved float64
+}
+
+// New returns a network for machine m using the profile's link bandwidth.
+func New(m *hw.Machine) *Network {
+	n := &Network{
+		k:    m.K,
+		m:    m,
+		link: sim.NewPSResource(m.K, "wavelan", m.Prof.LinkBandwidth),
+	}
+	return n
+}
+
+// Link exposes the shared link resource (for latency estimation).
+func (n *Network) Link() *sim.PSResource { return n.link }
+
+// BytesMoved reports total bytes transferred in either direction.
+func (n *Network) BytesMoved() float64 { return n.bytesMoved }
+
+// updateNIC drives the interface state machine from the hold/xfer counters.
+func (n *Network) updateNIC() {
+	switch {
+	case n.xfers > 0:
+		n.m.NIC.SetState(hw.NICTransfer)
+	case n.holds > 0:
+		n.m.NIC.SetState(hw.NICIdle)
+	case n.StandbyPolicy:
+		n.m.NIC.SetState(hw.NICStandby)
+	default:
+		n.m.NIC.SetState(hw.NICIdle)
+	}
+}
+
+// acquire wakes the interface for a communication span, paying the resume
+// delay when it was dozing.
+func (n *Network) acquire(p *sim.Proc) {
+	if n.m.NIC.State() == hw.NICStandby || n.m.NIC.State() == hw.NICOff {
+		p.Sleep(n.m.Prof.NICResume)
+	}
+	n.holds++
+	n.updateNIC()
+}
+
+// release ends a communication span.
+func (n *Network) release() {
+	n.holds--
+	n.updateNIC()
+}
+
+// moveBytes performs the actual byte flow: link time (shared), interrupt and
+// protocol CPU, transfer-state power.
+func (n *Network) moveBytes(p *sim.Proc, principal string, bytes float64) {
+	if bytes <= 0 {
+		return
+	}
+	n.xfers++
+	n.updateNIC()
+	n.bytesMoved += bytes
+	// Interrupt and kernel CPU proceed concurrently with the flow.
+	n.m.CPU.RunAsync(PrincipalInterrupts, bytes*irqCPUPerByte, nil)
+	n.m.CPU.RunAsync(PrincipalKernel, bytes*kernelCPUPerByte, nil)
+	p.Sleep(n.m.Prof.LinkLatency)
+	n.link.Use(p, principal, bytes)
+	n.xfers--
+	n.updateNIC()
+}
+
+// BulkTransfer moves bytes over the link on behalf of principal, waking the
+// interface first if needed and returning it to its policy state after.
+func (n *Network) BulkTransfer(p *sim.Proc, principal string, bytes float64) {
+	n.acquire(p)
+	n.moveBytes(p, principal, bytes)
+	n.release()
+}
+
+// RPC performs a remote procedure call: send callBytes, wait for the server
+// to spend serverTime, receive replyBytes. The interface stays awake for the
+// whole span, as in the paper's modified communication package.
+func (n *Network) RPC(p *sim.Proc, principal string, callBytes float64, server *Server, serverTime time.Duration, replyBytes float64) {
+	n.acquire(p)
+	n.moveBytes(p, principal, callBytes)
+	if server != nil {
+		server.Do(p, serverTime)
+	} else {
+		p.Sleep(serverTime)
+	}
+	n.moveBytes(p, principal, replyBytes)
+	n.release()
+}
+
+// Server is a remote compute server (map server, distillation server, remote
+// Janus). Server time costs the client no energy beyond waiting — the paper
+// notes remote servers likely run from wall power. Concurrent requests share
+// the server processor-sharing style.
+type Server struct {
+	Name string
+	res  *sim.PSResource
+	// SpeedJitter adds +/- the given fraction of uniform noise to each
+	// request's service time, giving trials non-degenerate variance.
+	SpeedJitter float64
+	k           *sim.Kernel
+}
+
+// NewServer returns a server with one second of service capacity per second.
+func NewServer(k *sim.Kernel, name string) *Server {
+	return &Server{Name: name, k: k, res: sim.NewPSResource(k, "server:"+name, 1.0)}
+}
+
+// Do blocks p while the server spends d of compute time on its request,
+// shared with any concurrent requests and jittered by SpeedJitter.
+func (s *Server) Do(p *sim.Proc, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	sec := d.Seconds()
+	if s.SpeedJitter > 0 {
+		sec *= 1 + s.SpeedJitter*(2*s.k.Rand().Float64()-1)
+	}
+	s.res.Use(p, s.Name, sec)
+}

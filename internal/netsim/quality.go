@@ -1,0 +1,96 @@
+package netsim
+
+import (
+	"time"
+
+	"odyssey/internal/sim"
+)
+
+// LinkQuality models the "variable-quality network" the paper's Web
+// experiments assume: the wireless link alternates between a good state at
+// full capacity and a degraded state (fading, interference, distance) at a
+// fraction of it, with exponentially distributed state holding times — a
+// Gilbert-Elliott channel at the bandwidth level.
+//
+// The original Odyssey's bandwidth adaptation reacts to exactly this kind
+// of variation through viceroy resource expectations; pair a LinkQuality
+// with env.Rig.StartBandwidthMonitor to drive those upcalls.
+type LinkQuality struct {
+	k    *sim.Kernel
+	link *sim.PSResource
+
+	// GoodCapacity and BadCapacity are the two service rates (bytes/s).
+	GoodCapacity float64
+	BadCapacity  float64
+	// MeanGood and MeanBad are the mean state holding times.
+	MeanGood time.Duration
+	MeanBad  time.Duration
+
+	good        bool
+	running     bool
+	ev          *sim.Event
+	transitions int
+}
+
+// NewLinkQuality wraps a network's link with a two-state quality model,
+// starting in the good state. Call Start to begin transitions.
+func NewLinkQuality(n *Network, badFraction float64, meanGood, meanBad time.Duration) *LinkQuality {
+	cap := n.Link().Capacity()
+	return &LinkQuality{
+		k:            n.k,
+		link:         n.Link(),
+		GoodCapacity: cap,
+		BadCapacity:  cap * badFraction,
+		MeanGood:     meanGood,
+		MeanBad:      meanBad,
+		good:         true,
+	}
+}
+
+// Good reports whether the channel is currently in the good state.
+func (q *LinkQuality) Good() bool { return q.good }
+
+// Transitions reports how many state changes have occurred.
+func (q *LinkQuality) Transitions() int { return q.transitions }
+
+// Start begins state transitions.
+func (q *LinkQuality) Start() {
+	if q.running {
+		return
+	}
+	q.running = true
+	q.schedule()
+}
+
+// Stop freezes the channel in its current state.
+func (q *LinkQuality) Stop() {
+	q.running = false
+	if q.ev != nil {
+		q.ev.Cancel()
+		q.ev = nil
+	}
+}
+
+func (q *LinkQuality) schedule() {
+	mean := q.MeanGood
+	if !q.good {
+		mean = q.MeanBad
+	}
+	hold := time.Duration(q.k.Rand().ExpFloat64() * float64(mean))
+	if hold < time.Millisecond {
+		hold = time.Millisecond
+	}
+	q.ev = q.k.After(hold, func() {
+		if !q.running {
+			return
+		}
+		q.good = !q.good
+		q.transitions++
+		if q.good {
+			q.link.SetCapacity(q.GoodCapacity)
+		} else {
+			q.link.SetCapacity(q.BadCapacity)
+		}
+		q.schedule()
+	})
+}

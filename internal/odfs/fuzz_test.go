@@ -1,0 +1,40 @@
+package odfs_test
+
+import (
+	"strings"
+	"testing"
+
+	"odyssey/internal/app/env"
+	"odyssey/internal/app/mapview"
+	"odyssey/internal/odfs"
+)
+
+// FuzzPathHandling checks that arbitrary paths never panic the namespace
+// and that accepted paths round-trip through Lookup.
+func FuzzPathHandling(f *testing.F) {
+	for _, seed := range []string{
+		"/", "/a", "/a/b/c", "//x//y", "/./a", "/../etc", "relative",
+		"", "/a/../b", "/odyssey/maps/San Jose", strings.Repeat("/x", 50),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, path string) {
+		rig := env.NewRig(1, 1)
+		mapview.NewViewer(rig)
+		fs := odfs.New(rig.V)
+		obj, err := fs.Register(odfs.Object{Path: path, Type: "map", Data: mapview.StandardMaps()[0]})
+		if err != nil {
+			return // rejected paths are fine; panics are not
+		}
+		got, err := fs.Lookup(obj.Path)
+		if err != nil {
+			t.Fatalf("registered path %q (from %q) not found: %v", obj.Path, path, err)
+		}
+		if got.Path != obj.Path {
+			t.Fatalf("lookup returned %q for %q", got.Path, obj.Path)
+		}
+		if !strings.HasPrefix(obj.Path, "/") {
+			t.Fatalf("accepted non-absolute normalized path %q", obj.Path)
+		}
+	})
+}

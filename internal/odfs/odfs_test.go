@@ -1,0 +1,259 @@
+package odfs_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"odyssey/internal/app/env"
+	"odyssey/internal/app/mapview"
+	"odyssey/internal/app/speech"
+	"odyssey/internal/app/video"
+	"odyssey/internal/app/web"
+	"odyssey/internal/core"
+	"odyssey/internal/odfs"
+	"odyssey/internal/sim"
+)
+
+// newStack builds a rig with all four wardens mounted and the standard data
+// objects registered in the namespace.
+func newStack(seed int64) (*env.Rig, *odfs.FS) {
+	rig := env.NewRig(seed, 1)
+	rig.EnablePowerMgmt()
+	video.NewPlayer(rig)
+	speech.NewRecognizer(rig)
+	mapview.NewViewer(rig)
+	web.NewBrowser(rig)
+	fs := odfs.New(rig.V)
+	for _, m := range mapview.StandardMaps() {
+		if _, err := fs.Register(odfs.Object{Path: "/odyssey/maps/" + m.City, Type: "map", Data: m}); err != nil {
+			panic(err)
+		}
+	}
+	for _, img := range web.StandardImages() {
+		if _, err := fs.Register(odfs.Object{Path: "/odyssey/web/" + img.Name, Type: "web", Data: img}); err != nil {
+			panic(err)
+		}
+	}
+	for _, u := range speech.StandardUtterances() {
+		if _, err := fs.Register(odfs.Object{Path: "/odyssey/speech/" + u.Name, Type: "speech", Data: u}); err != nil {
+			panic(err)
+		}
+	}
+	if _, err := fs.Register(odfs.Object{Path: "/odyssey/video/newsfeed", Type: "video",
+		Data: video.Clip{Name: "newsfeed", Length: 10 * time.Second}}); err != nil {
+		panic(err)
+	}
+	return rig, fs
+}
+
+func TestNamespaceBasics(t *testing.T) {
+	_, fs := newStack(1)
+	obj, err := fs.Lookup("/odyssey/maps/San Jose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Type != "map" {
+		t.Fatalf("type %q", obj.Type)
+	}
+	// Normalization: extra slashes and dots resolve.
+	if _, err := fs.Lookup("//odyssey/./maps/San Jose"); err != nil {
+		t.Fatalf("normalized lookup failed: %v", err)
+	}
+	if _, err := fs.Lookup("/nope"); !errors.Is(err, odfs.ErrNotFound) {
+		t.Fatalf("missing object error %v", err)
+	}
+	if _, err := fs.Lookup("relative/path"); !errors.Is(err, odfs.ErrBadPath) {
+		t.Fatalf("relative path error %v", err)
+	}
+	if _, err := fs.Lookup("/odyssey/../etc"); !errors.Is(err, odfs.ErrBadPath) {
+		t.Fatalf("dotdot path error %v", err)
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	rig := env.NewRig(2, 1)
+	fs := odfs.New(rig.V)
+	if _, err := fs.Register(odfs.Object{Path: "/x", Type: "map"}); !errors.Is(err, odfs.ErrNoWarden) {
+		t.Fatalf("unmounted type error %v", err)
+	}
+	mapview.NewViewer(rig)
+	if _, err := fs.Register(odfs.Object{Path: "/x", Type: "map", Data: mapview.StandardMaps()[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Register(odfs.Object{Path: "/x", Type: "map", Data: mapview.StandardMaps()[0]}); !errors.Is(err, odfs.ErrExists) {
+		t.Fatalf("duplicate error %v", err)
+	}
+}
+
+func TestWalk(t *testing.T) {
+	_, fs := newStack(3)
+	maps, err := fs.Walk("/odyssey/maps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maps) != 4 {
+		t.Fatalf("walk found %d maps", len(maps))
+	}
+	all, _ := fs.Walk("/")
+	if len(all) != 13 {
+		t.Fatalf("walk found %d objects, want 13", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1] >= all[i] {
+			t.Fatal("walk output not sorted")
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	_, fs := newStack(4)
+	if err := fs.Remove("/odyssey/video/newsfeed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Lookup("/odyssey/video/newsfeed"); !errors.Is(err, odfs.ErrNotFound) {
+		t.Fatal("object still present after Remove")
+	}
+	if err := fs.Remove("/odyssey/video/newsfeed"); !errors.Is(err, odfs.ErrNotFound) {
+		t.Fatalf("double remove error %v", err)
+	}
+}
+
+func TestMapFetchTSOp(t *testing.T) {
+	rig, fs := newStack(5)
+	var full, low float64
+	rig.K.Spawn("user", func(p *sim.Proc) {
+		h, err := fs.Open("/odyssey/maps/San Jose", 3) // full detail
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cp := rig.M.Acct.Checkpoint()
+		if _, err := h.TSOp(p, "fetch", mapview.FetchArgs{Think: 2 * time.Second}); err != nil {
+			t.Error(err)
+			return
+		}
+		full = cp.Since()
+
+		h.SetFidelity(0) // cropped + secondary filter
+		cp = rig.M.Acct.Checkpoint()
+		if _, err := h.TSOp(p, "fetch", mapview.FetchArgs{Think: 2 * time.Second}); err != nil {
+			t.Error(err)
+			return
+		}
+		low = cp.Since()
+		h.Close()
+		if _, err := h.TSOp(p, "fetch", nil); !errors.Is(err, odfs.ErrClosed) {
+			t.Errorf("closed handle error %v", err)
+		}
+	})
+	rig.K.Run(0)
+	if full <= 0 || low <= 0 {
+		t.Fatalf("energies full=%v low=%v", full, low)
+	}
+	if low >= full {
+		t.Fatalf("low fidelity fetch (%.1f J) not cheaper than full (%.1f J)", low, full)
+	}
+}
+
+func TestVideoPlayTSOp(t *testing.T) {
+	rig, fs := newStack(6)
+	rig.K.Spawn("user", func(p *sim.Proc) {
+		h, err := fs.Open("/odyssey/video/newsfeed", 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res, err := h.TSOp(p, "play", nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if res != video.TrackCombined.Name {
+			t.Errorf("lowest fidelity played track %v", res)
+		}
+	})
+	end := rig.K.Run(0)
+	if end < 10*time.Second {
+		t.Fatalf("playback ended at %v, clip is 10 s", end)
+	}
+}
+
+func TestSpeechRecognizeTSOp(t *testing.T) {
+	rig, fs := newStack(7)
+	rig.K.Spawn("user", func(p *sim.Proc) {
+		h, err := fs.Open("/odyssey/speech/Utterance 1", 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res, err := h.TSOp(p, "recognize", speech.RecognizeArgs{Mode: speech.Hybrid})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if res != speech.FullVocab {
+			t.Errorf("full fidelity selected model %v", res)
+		}
+	})
+	rig.K.Run(0)
+	if rig.Net.BytesMoved() == 0 {
+		t.Fatal("hybrid recognition moved no bytes")
+	}
+}
+
+func TestWebFetchTSOp(t *testing.T) {
+	rig, fs := newStack(8)
+	rig.K.Spawn("user", func(p *sim.Proc) {
+		h, err := fs.Open("/odyssey/web/Image 4", 0) // JPEG-5
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res, err := h.TSOp(p, "fetch", web.FetchArgs{Think: time.Second})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		bytes := res.(float64)
+		if bytes >= web.StandardImages()[3].GIFBytes {
+			t.Errorf("JPEG-5 delivered %v bytes, no reduction", bytes)
+		}
+	})
+	rig.K.Run(0)
+}
+
+func TestUnknownOpRejected(t *testing.T) {
+	rig, fs := newStack(9)
+	rig.K.Spawn("user", func(p *sim.Proc) {
+		h, err := fs.Open("/odyssey/maps/Boston", 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := h.TSOp(p, "paint", nil); !errors.Is(err, odfs.ErrNoSuchOp) {
+			t.Errorf("unknown op error %v", err)
+		}
+	})
+	rig.K.Run(0)
+}
+
+// plainWarden has no tsop support.
+type plainWarden struct{}
+
+func (plainWarden) TypeName() string { return "plain" }
+
+func TestOpenRequiresTSOpWarden(t *testing.T) {
+	k := sim.NewKernel(1)
+	v := core.NewViceroy(k)
+	if err := v.RegisterWarden(plainWarden{}); err != nil {
+		t.Fatal(err)
+	}
+	fs := odfs.New(v)
+	if _, err := fs.Register(odfs.Object{Path: "/p", Type: "plain"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("/p", 0); !errors.Is(err, odfs.ErrNoWarden) {
+		t.Fatalf("tsop-less open error %v", err)
+	}
+}

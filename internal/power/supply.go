@@ -1,0 +1,111 @@
+package power
+
+import (
+	"time"
+
+	"odyssey/internal/sim"
+)
+
+// Supply models the energy source: either a battery with a finite initial
+// charge or an external supply (infinite). Residual energy is derived from
+// the accountant's exact integral, matching the paper's methodology of
+// providing Odyssey an initial energy value and computing residual energy
+// assuming constant power between samples.
+type Supply struct {
+	acct    *Accountant
+	initial float64 // joules; <= 0 means external (unlimited) supply
+	base    float64 // accountant total at attach time
+}
+
+// NewSupply attaches a supply of initialJoules to acct. initialJoules <= 0
+// models an external power source that never depletes.
+func NewSupply(acct *Accountant, initialJoules float64) *Supply {
+	return &Supply{acct: acct, initial: initialJoules, base: acct.TotalEnergy()}
+}
+
+// Initial returns the configured initial energy (0 for external supplies).
+func (s *Supply) Initial() float64 {
+	if s.initial <= 0 {
+		return 0
+	}
+	return s.initial
+}
+
+// External reports whether the supply is unlimited.
+func (s *Supply) External() bool { return s.initial <= 0 }
+
+// Consumed returns joules drawn since the supply was attached.
+func (s *Supply) Consumed() float64 { return s.acct.TotalEnergy() - s.base }
+
+// Residual returns joules remaining (never negative). External supplies
+// report a very large residual.
+func (s *Supply) Residual() float64 {
+	if s.External() {
+		return 1e18
+	}
+	r := s.initial - s.Consumed()
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Depleted reports whether the supply has been exhausted.
+func (s *Supply) Depleted() bool { return !s.External() && s.Residual() <= 0 }
+
+// Meter is the simulated digital multimeter: it samples total power at a
+// fixed rate (with per-sample phase jitter) and passes each sample to a
+// collector, as the HP 3458a fed PowerScope's data-collection computer.
+type Meter struct {
+	k      *sim.Kernel
+	acct   *Accountant
+	period time.Duration
+	jitter time.Duration
+	out    func(t time.Duration, watts float64)
+	ev     *sim.Event
+	on     bool
+}
+
+// NewMeter creates a meter sampling acct every period (±jitter, uniform),
+// delivering samples to out. Call Start to begin sampling.
+func NewMeter(k *sim.Kernel, acct *Accountant, period, jitter time.Duration, out func(t time.Duration, watts float64)) *Meter {
+	if period <= 0 {
+		panic("power: meter period must be positive")
+	}
+	return &Meter{k: k, acct: acct, period: period, jitter: jitter, out: out}
+}
+
+// Start begins sampling. It is a no-op if already running.
+func (m *Meter) Start() {
+	if m.on {
+		return
+	}
+	m.on = true
+	m.schedule()
+}
+
+// Stop halts sampling.
+func (m *Meter) Stop() {
+	m.on = false
+	if m.ev != nil {
+		m.ev.Cancel()
+		m.ev = nil
+	}
+}
+
+func (m *Meter) schedule() {
+	d := m.period
+	if m.jitter > 0 {
+		d += time.Duration(m.k.Rand().Int63n(int64(2*m.jitter))) - m.jitter
+		if d <= 0 {
+			d = time.Nanosecond
+		}
+	}
+	m.ev = m.k.After(d, func() {
+		if !m.on {
+			return
+		}
+		m.out(m.k.Now(), m.acct.Power())
+		m.schedule()
+	})
+}

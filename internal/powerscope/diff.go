@@ -1,0 +1,72 @@
+package powerscope
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ProfileDiff compares two energy profiles by binary path — the workflow
+// the paper describes for PowerScope: profile, attack the biggest consumer,
+// re-profile, and verify the change landed where expected.
+type ProfileDiff struct {
+	Rows []DiffRow
+	// TotalBefore and TotalAfter are whole-profile energies (J).
+	TotalBefore float64
+	TotalAfter  float64
+}
+
+// DiffRow is one binary's energy in each profile.
+type DiffRow struct {
+	Path   string
+	Before float64 // joules (0 if absent)
+	After  float64
+}
+
+// Delta returns the absolute change in joules.
+func (r DiffRow) Delta() float64 { return r.After - r.Before }
+
+// Diff computes the per-binary energy comparison of two profiles, sorted by
+// decreasing |delta|.
+func Diff(before, after *EnergyProfile) *ProfileDiff {
+	b := before.EnergyByPath()
+	a := after.EnergyByPath()
+	paths := make(map[string]bool)
+	for p := range b {
+		paths[p] = true
+	}
+	for p := range a {
+		paths[p] = true
+	}
+	d := &ProfileDiff{TotalBefore: before.TotalEnergy, TotalAfter: after.TotalEnergy}
+	for p := range paths {
+		d.Rows = append(d.Rows, DiffRow{Path: p, Before: b[p], After: a[p]})
+	}
+	sort.Slice(d.Rows, func(i, j int) bool {
+		di, dj := d.Rows[i].Delta(), d.Rows[j].Delta()
+		if di < 0 {
+			di = -di
+		}
+		if dj < 0 {
+			dj = -dj
+		}
+		if di != dj {
+			return di > dj
+		}
+		return d.Rows[i].Path < d.Rows[j].Path
+	})
+	return d
+}
+
+// String renders the diff as a table.
+func (d *ProfileDiff) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %12s %12s %12s\n", "Process", "Before (J)", "After (J)", "Delta (J)")
+	fmt.Fprintf(&b, "%-32s %12s %12s %12s\n",
+		strings.Repeat("-", 32), "----------", "---------", "---------")
+	for _, r := range d.Rows {
+		fmt.Fprintf(&b, "%-32s %12.2f %12.2f %+12.2f\n", r.Path, r.Before, r.After, r.Delta())
+	}
+	fmt.Fprintf(&b, "%-32s %12.2f %12.2f %+12.2f\n", "Total", d.TotalBefore, d.TotalAfter, d.TotalAfter-d.TotalBefore)
+	return b.String()
+}

@@ -1,0 +1,53 @@
+package powerscope
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzCorrelate checks the offline stage never panics and conserves energy
+// for arbitrary sample streams.
+func FuzzCorrelate(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{})
+	f.Add([]byte{255, 0, 255, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 256 {
+			raw = raw[:256]
+		}
+		st := NewSymbolTable()
+		procA := st.Declare("bin/a", "f")
+		samples := make([]Sample, 0, len(raw))
+		tm := time.Duration(0)
+		for _, b := range raw {
+			tm += time.Duration(b%50+1) * time.Millisecond
+			pc := uintptr(0)
+			if b%3 == 0 {
+				pc = procA.Start
+			}
+			samples = append(samples, Sample{
+				Time:  tm,
+				Watts: float64(b%30) / 2,
+				PID:   int(b % 4),
+				PC:    pc,
+			})
+		}
+		prof := Correlate(samples, st, nil)
+		// Conservation: per-process energies sum to the total.
+		sum := 0.0
+		for _, p := range prof.Processes {
+			sum += p.Energy
+			procSum := 0.0
+			for _, pr := range p.Procedures {
+				procSum += pr.Energy
+			}
+			if diff := procSum - p.Energy; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("procedure energies %v != process energy %v", procSum, p.Energy)
+			}
+		}
+		if diff := sum - prof.TotalEnergy; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("process energies %v != total %v", sum, prof.TotalEnergy)
+		}
+		_ = prof.String()
+	})
+}

@@ -1,0 +1,291 @@
+package powerscope
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"odyssey/internal/hw"
+	"odyssey/internal/sim"
+)
+
+func TestSymbolTableDeclareLookup(t *testing.T) {
+	st := NewSymbolTable()
+	a := st.Declare("bin/xanim", "_Dispatcher")
+	b := st.Declare("bin/xanim", "_DecodeFrame")
+	if a.Start == b.Start {
+		t.Fatal("procedures share an address")
+	}
+	if got := st.Lookup(a.Start); got != a {
+		t.Fatalf("Lookup(start) = %v", got)
+	}
+	if got := st.Lookup(a.End - 1); got != a {
+		t.Fatalf("Lookup(end-1) = %v", got)
+	}
+	if got := st.Lookup(0); got != nil {
+		t.Fatalf("Lookup(0) = %v, want nil", got)
+	}
+	if got := st.Lookup(b.End + 0x10000); got != nil {
+		t.Fatalf("Lookup(beyond) = %v, want nil", got)
+	}
+}
+
+func TestSymbolTableRedeclareReturnsSame(t *testing.T) {
+	st := NewSymbolTable()
+	a := st.Declare("k", "f")
+	b := st.Declare("k", "f")
+	if a != b {
+		t.Fatal("re-declare created a new procedure")
+	}
+	if len(st.Procedures()) != 1 {
+		t.Fatalf("table has %d procedures", len(st.Procedures()))
+	}
+}
+
+func TestSymbolTableString(t *testing.T) {
+	st := NewSymbolTable()
+	st.Declare("bin", "f")
+	if !strings.Contains(st.String(), "bin f") {
+		t.Fatalf("listing missing entry: %q", st.String())
+	}
+}
+
+// buildRig assembles a machine plus profiler with one registered process.
+func buildRig(seed int64) (*hw.Machine, *Profiler) {
+	m := hw.NewMachine(sim.NewKernel(seed), hw.ThinkPad560X(), 1)
+	pf := NewProfiler(m.K, m.Acct, 1666*time.Microsecond, 200*time.Microsecond) // ~600 Hz
+	return m, pf
+}
+
+func TestIdleSamplesGoToKernel(t *testing.T) {
+	m, pf := buildRig(1)
+	pf.Start()
+	m.K.At(time.Second, func() { pf.Stop() })
+	m.K.Run(2 * time.Second)
+	if len(pf.Samples()) < 400 {
+		t.Fatalf("only %d samples in 1 s at ~600 Hz", len(pf.Samples()))
+	}
+	for _, s := range pf.Samples() {
+		if s.PID != KernelPID {
+			t.Fatalf("idle machine produced sample for pid %d", s.PID)
+		}
+	}
+}
+
+func TestProfileAttributesBusyProcess(t *testing.T) {
+	m, pf := buildRig(2)
+	proc := pf.SysMon.Register("xanim", "/usr/bin/xanim")
+	decode := pf.Symbols.Declare("/usr/bin/xanim", "_DecodeFrame")
+	pf.Start()
+	m.K.Spawn("xanim", func(p *sim.Proc) {
+		prev := proc.Exec(decode)
+		m.CPU.Run(p, "xanim", 2.0)
+		proc.Exec(prev)
+	})
+	m.K.At(4*time.Second, func() { pf.Stop() })
+	m.K.Run(5 * time.Second)
+
+	prof := Correlate(pf.Samples(), pf.Symbols, map[int]string{proc.PID: "/usr/bin/xanim"})
+	if prof.TotalEnergy <= 0 {
+		t.Fatal("no energy in profile")
+	}
+	byPath := prof.EnergyByPath()
+	if byPath["/usr/bin/xanim"] <= 0 {
+		t.Fatal("no energy attributed to xanim")
+	}
+	if byPath[KernelBinary] <= 0 {
+		t.Fatal("no idle energy attributed to kernel")
+	}
+	// Find the procedure row.
+	found := false
+	for _, p := range prof.Processes {
+		if p.Path != "/usr/bin/xanim" {
+			continue
+		}
+		for _, pr := range p.Procedures {
+			if pr.Procedure == "_DecodeFrame" && pr.Energy > 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("profile missing _DecodeFrame detail row")
+	}
+}
+
+// TestSamplingConvergesToExactIntegral is the key property: PowerScope's
+// statistical estimate must agree with the accountant's exact attribution
+// within sampling error.
+func TestSamplingConvergesToExactIntegral(t *testing.T) {
+	m, pf := buildRig(3)
+	proc := pf.SysMon.Register("janus", "/usr/odyssey/bin/janus")
+	rec := pf.Symbols.Declare("/usr/odyssey/bin/janus", "_Recognize")
+	pf.Start()
+	m.K.Spawn("janus", func(p *sim.Proc) {
+		prev := proc.Exec(rec)
+		defer proc.Exec(prev)
+		for i := 0; i < 5; i++ {
+			m.CPU.Run(p, "janus", 1.5)
+			p.Sleep(500 * time.Millisecond)
+		}
+	})
+	end := 12 * time.Second
+	m.K.At(end, func() { pf.Stop() })
+	m.K.Run(end + time.Second)
+
+	exact := m.Acct.EnergyByPrincipal()["janus"]
+	prof := Correlate(pf.Samples(), pf.Symbols, map[int]string{proc.PID: "/usr/odyssey/bin/janus"})
+	sampled := prof.EnergyByPath()["/usr/odyssey/bin/janus"]
+	if exact <= 0 || sampled <= 0 {
+		t.Fatalf("exact %v sampled %v", exact, sampled)
+	}
+	if rel := math.Abs(sampled-exact) / exact; rel > 0.05 {
+		t.Fatalf("sampled %v vs exact %v: relative error %.1f%% > 5%%", sampled, exact, rel*100)
+	}
+	// Total energy must also agree with the accountant over the sampled
+	// window (within edge effects of one period).
+	if rel := math.Abs(prof.TotalEnergy-m.Acct.TotalEnergy()) / m.Acct.TotalEnergy(); rel > 0.05 {
+		t.Fatalf("profile total %v vs accountant %v", prof.TotalEnergy, m.Acct.TotalEnergy())
+	}
+}
+
+func TestSharedCPUSampledProportionally(t *testing.T) {
+	m, pf := buildRig(4)
+	a := pf.SysMon.Register("a", "bin/a")
+	b := pf.SysMon.Register("b", "bin/b")
+	_ = a
+	_ = b
+	pf.Start()
+	// a runs 10 cpu-sec, b runs 10 cpu-sec, fully overlapped: each holds
+	// a half share for 20 s.
+	m.K.Spawn("a", func(p *sim.Proc) { m.CPU.Run(p, "a", 10) })
+	m.K.Spawn("b", func(p *sim.Proc) { m.CPU.Run(p, "b", 10) })
+	m.K.At(21*time.Second, func() { pf.Stop() })
+	m.K.Run(22 * time.Second)
+	prof := Correlate(pf.Samples(), pf.Symbols, map[int]string{a.PID: "bin/a", b.PID: "bin/b"})
+	byPath := prof.EnergyByPath()
+	ea, eb := byPath["bin/a"], byPath["bin/b"]
+	if ea <= 0 || eb <= 0 {
+		t.Fatalf("energies a=%v b=%v", ea, eb)
+	}
+	if r := ea / eb; r < 0.9 || r > 1.1 {
+		t.Fatalf("equal-share processes sampled at ratio %v", r)
+	}
+}
+
+func TestUnregisteredPrincipalBecomesKernelInterrupt(t *testing.T) {
+	m, pf := buildRig(5)
+	pf.Start()
+	m.CPU.RunAsync("WaveLAN", 3.0, nil)
+	m.K.At(5*time.Second, func() { pf.Stop() })
+	m.K.Run(6 * time.Second)
+	prof := Correlate(pf.Samples(), pf.Symbols, nil)
+	found := false
+	for _, p := range prof.Processes {
+		if p.PID != KernelPID {
+			continue
+		}
+		for _, pr := range p.Procedures {
+			if pr.Procedure == "Interrupts-WaveLAN" && pr.Energy > 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no Interrupts-WaveLAN row in kernel detail:\n%s", prof.String())
+	}
+}
+
+func TestCorrelateEmptyAndTiny(t *testing.T) {
+	st := NewSymbolTable()
+	if p := Correlate(nil, st, nil); p.TotalEnergy != 0 || len(p.Processes) != 0 {
+		t.Fatal("empty correlate not empty")
+	}
+	one := []Sample{{Time: 0, Watts: 5}}
+	if p := Correlate(one, st, nil); p.TotalEnergy != 0 {
+		t.Fatal("single sample should produce no energy")
+	}
+}
+
+func TestProfileStringFormat(t *testing.T) {
+	m, pf := buildRig(6)
+	proc := pf.SysMon.Register("odyssey", "/usr/odyssey/bin/odyssey")
+	disp := pf.Symbols.Declare("/usr/odyssey/bin/odyssey", "_Dispatcher")
+	pf.Start()
+	m.K.Spawn("odyssey", func(p *sim.Proc) {
+		prev := proc.Exec(disp)
+		defer proc.Exec(prev)
+		m.CPU.Run(p, "odyssey", 1.0)
+	})
+	m.K.At(2*time.Second, func() { pf.Stop() })
+	m.K.Run(3 * time.Second)
+	prof := Correlate(pf.Samples(), pf.Symbols, map[int]string{proc.PID: "/usr/odyssey/bin/odyssey"})
+	out := prof.String()
+	for _, want := range []string{"Process", "Total", "_Dispatcher", "Energy Usage Detail", "/usr/odyssey/bin/odyssey"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("profile output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProfileDiff(t *testing.T) {
+	// Profile the same process at two load levels and diff them — the
+	// paper's profile/optimize/re-profile workflow.
+	run := func(load float64) *EnergyProfile {
+		m, pf := buildRig(11)
+		proc := pf.SysMon.Register("xanim", "/usr/bin/xanim")
+		dec := pf.Symbols.Declare("/usr/bin/xanim", "_DecodeFrame")
+		proc.Exec(dec)
+		pf.Start()
+		m.K.Spawn("w", func(p *sim.Proc) {
+			m.CPU.Run(p, "xanim", load)
+		})
+		m.K.At(10*time.Second, func() { pf.Stop() })
+		m.K.Run(11 * time.Second)
+		return Correlate(pf.Samples(), pf.Symbols, map[int]string{proc.PID: "/usr/bin/xanim"})
+	}
+	before := run(8.0) // busy 8 of 10 s
+	after := run(2.0)  // busy 2 of 10 s
+	d := Diff(before, after)
+	if len(d.Rows) == 0 {
+		t.Fatal("empty diff")
+	}
+	// xanim's energy must have dropped, and as the largest mover it
+	// should sort first or second (idle moves oppositely).
+	var xanim *DiffRow
+	for i := range d.Rows {
+		if d.Rows[i].Path == "/usr/bin/xanim" {
+			xanim = &d.Rows[i]
+		}
+	}
+	if xanim == nil || xanim.Delta() >= 0 {
+		t.Fatalf("xanim delta %+v, want negative", xanim)
+	}
+	if d.TotalAfter >= d.TotalBefore {
+		t.Fatal("total energy did not drop")
+	}
+	out := d.String()
+	for _, want := range []string{"xanim", "Total", "Delta"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffHandlesDisjointProfiles(t *testing.T) {
+	a := &EnergyProfile{TotalEnergy: 10, Processes: []ProcessUsage{{Path: "a", Energy: 10}}}
+	b := &EnergyProfile{TotalEnergy: 7, Processes: []ProcessUsage{{Path: "b", Energy: 7}}}
+	d := Diff(a, b)
+	if len(d.Rows) != 2 {
+		t.Fatalf("%d rows", len(d.Rows))
+	}
+	for _, r := range d.Rows {
+		if r.Path == "a" && (r.Before != 10 || r.After != 0) {
+			t.Fatalf("row a: %+v", r)
+		}
+		if r.Path == "b" && (r.Before != 0 || r.After != 7) {
+			t.Fatalf("row b: %+v", r)
+		}
+	}
+}

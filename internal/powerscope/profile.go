@@ -1,0 +1,148 @@
+package powerscope
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ProcedureUsage is one row of a per-process detail table.
+type ProcedureUsage struct {
+	Procedure string
+	CPUTime   time.Duration
+	Energy    float64 // joules
+	AvgPower  float64 // watts
+}
+
+// ProcessUsage is one row of the profile's process summary.
+type ProcessUsage struct {
+	PID        int
+	Path       string
+	CPUTime    time.Duration
+	Energy     float64
+	AvgPower   float64
+	Procedures []ProcedureUsage
+}
+
+// EnergyProfile is the output of the offline correlation stage: total
+// energy usage broken down by process and, within each process, by
+// procedure — the paper's Figure 2.
+type EnergyProfile struct {
+	Elapsed     time.Duration
+	TotalEnergy float64
+	Processes   []ProcessUsage
+}
+
+// Correlate runs the offline stage: it walks the correlated sample stream,
+// charges each inter-sample interval's energy (constant power assumed, as in
+// the paper) to the pid/pc of the leading sample, and resolves procedures
+// through the symbol table.
+func Correlate(samples []Sample, st *SymbolTable, processes map[int]string) *EnergyProfile {
+	prof := &EnergyProfile{}
+	if len(samples) < 2 {
+		return prof
+	}
+	type key struct {
+		pid int
+		pc  uintptr
+	}
+	cpu := make(map[key]time.Duration)
+	energy := make(map[key]float64)
+	for i := 0; i+1 < len(samples); i++ {
+		s := samples[i]
+		dt := samples[i+1].Time - s.Time
+		k := key{s.PID, s.PC}
+		cpu[k] += dt
+		energy[k] += s.Watts * dt.Seconds()
+	}
+	prof.Elapsed = samples[len(samples)-1].Time - samples[0].Time
+
+	byPID := make(map[int]*ProcessUsage)
+	for k := range cpu {
+		pu, ok := byPID[k.pid]
+		if !ok {
+			path := processes[k.pid]
+			if path == "" {
+				if k.pid == KernelPID {
+					path = KernelBinary
+				} else {
+					path = fmt.Sprintf("pid-%d", k.pid)
+				}
+			}
+			pu = &ProcessUsage{PID: k.pid, Path: path}
+			byPID[k.pid] = pu
+		}
+		name := "(unresolved)"
+		if p := st.Lookup(k.pc); p != nil {
+			name = p.Name
+		}
+		pu.Procedures = append(pu.Procedures, ProcedureUsage{
+			Procedure: name,
+			CPUTime:   cpu[k],
+			Energy:    energy[k],
+			AvgPower:  avgPower(energy[k], cpu[k]),
+		})
+		pu.CPUTime += cpu[k]
+		pu.Energy += energy[k]
+	}
+	for _, pu := range byPID {
+		pu.AvgPower = avgPower(pu.Energy, pu.CPUTime)
+		sort.Slice(pu.Procedures, func(i, j int) bool {
+			return pu.Procedures[i].Energy > pu.Procedures[j].Energy
+		})
+		prof.Processes = append(prof.Processes, *pu)
+		prof.TotalEnergy += pu.Energy
+	}
+	sort.Slice(prof.Processes, func(i, j int) bool {
+		return prof.Processes[i].Energy > prof.Processes[j].Energy
+	})
+	return prof
+}
+
+func avgPower(energy float64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return energy / d.Seconds()
+}
+
+// String renders the profile in the paper's Figure 2 layout: a process
+// summary table followed by per-process procedure detail.
+func (ep *EnergyProfile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %10s %12s %10s\n", "Process", "CPU Time", "Energy (J)", "Power (W)")
+	fmt.Fprintf(&b, "%-32s %10s %12s %10s\n", strings.Repeat("-", 32), "--------", "----------", "---------")
+	for _, p := range ep.Processes {
+		fmt.Fprintf(&b, "%-32s %10.2f %12.2f %10.2f\n", p.Path, p.CPUTime.Seconds(), p.Energy, p.AvgPower)
+	}
+	fmt.Fprintf(&b, "%-32s %10s %12s\n", "", "--------", "----------")
+	total := time.Duration(0)
+	for _, p := range ep.Processes {
+		total += p.CPUTime
+	}
+	fmt.Fprintf(&b, "%-32s %10.2f %12.2f\n", "Total", total.Seconds(), ep.TotalEnergy)
+
+	for _, p := range ep.Processes {
+		if len(p.Procedures) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\nEnergy Usage Detail for process %s (pid %d)\n", p.Path, p.PID)
+		fmt.Fprintf(&b, "%10s %12s %10s  %s\n", "CPU Time", "Energy (J)", "Power (W)", "Procedure")
+		fmt.Fprintf(&b, "%10s %12s %10s  %s\n", "--------", "----------", "---------", "---------")
+		for _, pr := range p.Procedures {
+			fmt.Fprintf(&b, "%10.2f %12.2f %10.2f  %s\n", pr.CPUTime.Seconds(), pr.Energy, pr.AvgPower, pr.Procedure)
+		}
+	}
+	return b.String()
+}
+
+// EnergyByPath sums profile energy per binary path (several pids can share
+// a path when a process is re-registered between runs).
+func (ep *EnergyProfile) EnergyByPath() map[string]float64 {
+	out := make(map[string]float64)
+	for _, p := range ep.Processes {
+		out[p.Path] += p.Energy
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+// Package powerscope reproduces the PowerScope energy profiler: statistical
+// sampling of power draw correlated with program-counter/process-id samples,
+// followed by an offline stage that maps PCs to procedures through a symbol
+// table and emits an energy profile (the paper's Figure 2).
+//
+// In the simulation, "program counters" are synthetic addresses assigned to
+// declared procedures; running code marks its current procedure, and the
+// sampler picks the executing process in proportion to its CPU share at the
+// sampling instant — exactly the estimator the real tool implements with a
+// multimeter trigger line.
+package powerscope
+
+import (
+	"fmt"
+	"sort"
+)
+
+// procSize is the synthetic address-space size of one procedure.
+const procSize = 0x100
+
+// Procedure is a named code range within a binary.
+type Procedure struct {
+	Binary string
+	Name   string
+	Start  uintptr
+	End    uintptr // exclusive
+}
+
+// SymbolTable assigns synthetic addresses to procedures and resolves
+// program counters back to them — the offline half of PowerScope's
+// correlation stage.
+type SymbolTable struct {
+	next  uintptr
+	procs []*Procedure
+}
+
+// NewSymbolTable returns an empty table. Address assignment starts above
+// zero so that a zero PC is always unresolvable.
+func NewSymbolTable() *SymbolTable {
+	return &SymbolTable{next: 0x1000}
+}
+
+// Declare registers a procedure within a binary and assigns its address
+// range. Declaring the same (binary, name) twice returns the original entry.
+func (st *SymbolTable) Declare(binary, name string) *Procedure {
+	for _, p := range st.procs {
+		if p.Binary == binary && p.Name == name {
+			return p
+		}
+	}
+	p := &Procedure{Binary: binary, Name: name, Start: st.next, End: st.next + procSize}
+	st.next += procSize
+	st.procs = append(st.procs, p)
+	return p
+}
+
+// Lookup resolves a program counter to a procedure, or nil if it falls
+// outside every declared range.
+func (st *SymbolTable) Lookup(pc uintptr) *Procedure {
+	i := sort.Search(len(st.procs), func(i int) bool { return st.procs[i].End > pc })
+	if i < len(st.procs) && pc >= st.procs[i].Start {
+		return st.procs[i]
+	}
+	return nil
+}
+
+// Procedures returns all declared procedures in address order.
+func (st *SymbolTable) Procedures() []*Procedure {
+	out := make([]*Procedure, len(st.procs))
+	copy(out, st.procs)
+	return out
+}
+
+// String renders a nm-style listing.
+func (st *SymbolTable) String() string {
+	s := ""
+	for _, p := range st.procs {
+		s += fmt.Sprintf("%#08x %s %s\n", p.Start, p.Binary, p.Name)
+	}
+	return s
+}

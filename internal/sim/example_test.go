@@ -1,0 +1,42 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"odyssey/internal/sim"
+)
+
+// ExampleKernel shows the basic simulation pattern: spawn processes, let
+// them contend for a processor-sharing resource, and run the clock.
+func ExampleKernel() {
+	k := sim.NewKernel(1)
+	cpu := sim.NewPSResource(k, "cpu", 1.0) // one cpu-second per second
+
+	for _, name := range []string{"alpha", "beta"} {
+		name := name
+		k.Spawn(name, func(p *sim.Proc) {
+			cpu.Use(p, name, 1.0) // both jobs share: each takes 2 s
+			fmt.Printf("%s done at %v\n", name, p.Now().Round(time.Millisecond))
+		})
+	}
+	k.Run(0)
+	// Output:
+	// alpha done at 2s
+	// beta done at 2s
+}
+
+// ExampleKernel_events shows plain timed callbacks and cancellation.
+func ExampleKernel_events() {
+	k := sim.NewKernel(1)
+	k.At(time.Second, func() { fmt.Println("tick at 1s") })
+	cancelled := k.At(2*time.Second, func() { fmt.Println("never printed") })
+	cancelled.Cancel()
+	k.At(3*time.Second, func() { fmt.Println("tick at 3s") })
+	end := k.Run(0)
+	fmt.Println("clock:", end)
+	// Output:
+	// tick at 1s
+	// tick at 3s
+	// clock: 3s
+}

@@ -1,0 +1,391 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a virtual clock through a heap of scheduled events.
+// Model code runs either as plain event callbacks (see Kernel.At) or as
+// processes: goroutines that interleave with the kernel under a strict
+// one-runnable-at-a-time handshake, so that a simulation is fully
+// deterministic for a given seed regardless of the Go scheduler.
+//
+// The package also provides the shared building blocks used throughout the
+// Odyssey reproduction: processor-sharing resources (used for both the CPU
+// and the wireless link), FIFO queues, condition-style wait lists, and
+// cancellable timers.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel it before it fires.
+type Event struct {
+	at     time.Duration
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 when not queued
+	cancel bool
+}
+
+// At reports the virtual time the event is scheduled to fire.
+func (e *Event) At() time.Duration { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() {
+	e.cancel = true
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the simulation executive: a virtual clock plus an event queue.
+// A Kernel must be created with NewKernel. Kernels are not safe for use from
+// multiple goroutines except through the process handshake managed here.
+type Kernel struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+
+	// yield is signalled by a process goroutine whenever it hands control
+	// back to the kernel (by blocking or terminating).
+	yield chan struct{}
+
+	nextPID int
+	current *Proc // process currently holding control, nil in kernel context
+	procs   []*Proc
+
+	running   bool
+	stopped   bool
+	idleHooks []func() bool
+}
+
+// NewKernel returns a kernel with its clock at zero and a deterministic
+// random source derived from seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		rng:   rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (before Now) panics: it would silently reorder causality.
+func (k *Kernel) At(t time.Duration, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	e := &Event{at: t, seq: k.seq, fn: fn, index: -1}
+	heap.Push(&k.events, e)
+	return e
+}
+
+// After schedules fn to run d from now.
+func (k *Kernel) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Stop halts the run loop after the current event completes. Pending events
+// remain queued; Run may be called again to resume.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// OnIdle registers a hook invoked when the event queue drains. If the hook
+// returns true the kernel keeps running (the hook is expected to have
+// scheduled more work); otherwise the run loop exits.
+func (k *Kernel) OnIdle(fn func() bool) { k.idleHooks = append(k.idleHooks, fn) }
+
+// Run executes events in timestamp order until the queue is empty, Stop is
+// called, or the clock would pass horizon (use horizon <= 0 for no limit).
+// It returns the virtual time at exit.
+func (k *Kernel) Run(horizon time.Duration) time.Duration {
+	if k.running {
+		panic("sim: Kernel.Run re-entered")
+	}
+	k.running = true
+	k.stopped = false
+	defer func() { k.running = false }()
+
+	for !k.stopped {
+		if len(k.events) == 0 {
+			again := false
+			for _, h := range k.idleHooks {
+				if h() {
+					again = true
+				}
+			}
+			if !again || len(k.events) == 0 {
+				break
+			}
+		}
+		e := k.events[0]
+		if e.cancel {
+			heap.Pop(&k.events)
+			continue
+		}
+		if horizon > 0 && e.at > horizon {
+			k.now = horizon
+			break
+		}
+		heap.Pop(&k.events)
+		k.now = e.at
+		e.fn()
+	}
+	return k.now
+}
+
+// Proc is a simulation process: a goroutine interleaved with the kernel.
+// All Proc methods must be called from the process's own goroutine.
+type Proc struct {
+	k      *Kernel
+	pid    int
+	name   string
+	resume chan struct{}
+	parent *Proc
+	dead   bool
+}
+
+// PID returns the process identifier (unique within a kernel, starting at 1).
+func (p *Proc) PID() int { return p.pid }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Spawn creates a process that starts running at the current virtual time.
+// fn runs on its own goroutine; when it returns the process terminates.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	k.nextPID++
+	p := &Proc{k: k, pid: k.nextPID, name: name, resume: make(chan struct{})}
+	k.procs = append(k.procs, p)
+	go func() {
+		<-p.resume // wait for the kernel to hand over control
+		fn(p)
+		p.dead = true
+		k.yield <- struct{}{} // final hand-back; goroutine exits
+	}()
+	k.After(0, func() { k.transfer(p) })
+	return p
+}
+
+// transfer hands control to p and blocks until p yields. Must be called from
+// kernel context (inside an event callback).
+func (k *Kernel) transfer(p *Proc) {
+	if p.dead {
+		return
+	}
+	prev := k.current
+	k.current = p
+	p.resume <- struct{}{}
+	<-k.yield
+	k.current = prev
+}
+
+// park blocks the calling process until another party resumes it via
+// kernel.transfer. It must only be called from the process's goroutine.
+func (p *Proc) park() {
+	p.k.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	k := p.k
+	k.After(d, func() { k.transfer(p) })
+	p.park()
+}
+
+// SleepUntil suspends the process until absolute virtual time t. If t is in
+// the past it returns immediately.
+func (p *Proc) SleepUntil(t time.Duration) {
+	if t <= p.k.now {
+		return
+	}
+	p.Sleep(t - p.k.now)
+}
+
+// Now returns the current virtual time (convenience for p.Kernel().Now()).
+func (p *Proc) Now() time.Duration { return p.k.now }
+
+// WaitList is a set of parked processes that can be woken individually or
+// all at once. The zero value is ready to use after setting the kernel via
+// NewWaitList.
+type WaitList struct {
+	k       *Kernel
+	waiters []*Proc
+}
+
+// NewWaitList returns an empty wait list bound to k.
+func NewWaitList(k *Kernel) *WaitList { return &WaitList{k: k} }
+
+// Len reports the number of parked processes.
+func (w *WaitList) Len() int { return len(w.waiters) }
+
+// Wait parks the calling process on the list.
+func (w *WaitList) Wait(p *Proc) {
+	w.waiters = append(w.waiters, p)
+	p.park()
+}
+
+// WakeOne unparks the longest-waiting process, if any. The wakeup is
+// scheduled as an immediate event so WakeOne is safe to call from kernel
+// context or from another process.
+func (w *WaitList) WakeOne() bool {
+	if len(w.waiters) == 0 {
+		return false
+	}
+	p := w.waiters[0]
+	w.waiters = w.waiters[1:]
+	w.k.After(0, func() { w.k.transfer(p) })
+	return true
+}
+
+// WakeAll unparks every waiting process in FIFO order.
+func (w *WaitList) WakeAll() int {
+	n := len(w.waiters)
+	for w.WakeOne() {
+	}
+	return n
+}
+
+// Group tracks a set of spawned processes and lets a parent wait for all of
+// them to finish, in the manner of sync.WaitGroup but on virtual time.
+type Group struct {
+	k       *Kernel
+	pending int
+	waiters *WaitList
+}
+
+// NewGroup returns an empty process group bound to k.
+func NewGroup(k *Kernel) *Group {
+	return &Group{k: k, waiters: NewWaitList(k)}
+}
+
+// Go spawns fn as a member of the group.
+func (g *Group) Go(name string, fn func(p *Proc)) *Proc {
+	g.pending++
+	return g.k.Spawn(name, func(p *Proc) {
+		fn(p)
+		g.pending--
+		if g.pending == 0 {
+			g.waiters.WakeAll()
+		}
+	})
+}
+
+// Wait parks p until every member spawned so far has finished.
+func (g *Group) Wait(p *Proc) {
+	for g.pending > 0 {
+		g.waiters.Wait(p)
+	}
+}
+
+// Pending reports the number of unfinished members.
+func (g *Group) Pending() int { return g.pending }
+
+// LiveProcs returns the names of processes that have been spawned but have
+// not yet terminated. After Run drains the event queue, any names still
+// listed identify parked processes that nothing will ever wake — the
+// first thing to check when a simulation "ends early".
+func (k *Kernel) LiveProcs() []string {
+	var out []string
+	for _, p := range k.procs {
+		if !p.dead {
+			out = append(out, fmt.Sprintf("%s (pid %d)", p.name, p.pid))
+		}
+	}
+	return out
+}
+
+// Ticker invokes a callback periodically until stopped — the pattern every
+// monitor in the system shares (power sampling, adaptation evaluation,
+// resource monitors, DVS governors).
+type Ticker struct {
+	k       *Kernel
+	period  time.Duration
+	fn      func()
+	ev      *Event
+	running bool
+}
+
+// Every returns a stopped ticker that, once started, invokes fn each period.
+func (k *Kernel) Every(period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: ticker period must be positive, got %v", period))
+	}
+	return &Ticker{k: k, period: period, fn: fn}
+}
+
+// Start begins ticking. It is a no-op if already running.
+func (t *Ticker) Start() {
+	if t.running {
+		return
+	}
+	t.running = true
+	t.schedule()
+}
+
+// Stop halts the ticker; Start may be called again.
+func (t *Ticker) Stop() {
+	t.running = false
+	if t.ev != nil {
+		t.ev.Cancel()
+		t.ev = nil
+	}
+}
+
+// Running reports whether the ticker is active.
+func (t *Ticker) Running() bool { return t.running }
+
+func (t *Ticker) schedule() {
+	t.ev = t.k.After(t.period, func() {
+		if !t.running {
+			return
+		}
+		t.fn()
+		t.schedule()
+	})
+}

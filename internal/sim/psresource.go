@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// epsilon returns the completion tolerance for r: one nanosecond of
+// full-capacity service. Work within that of zero is considered complete,
+// absorbing float64/time.Duration conversion residue.
+func (r *PSResource) epsilon() float64 { return r.capacity * 1e-9 }
+
+// PSJob is one unit of work being served by a PSResource.
+type PSJob struct {
+	// Principal names the software component the work is attributed to
+	// (e.g. "xanim", "X", "wavelan"). Power accounting and PowerScope
+	// sampling use it.
+	Principal string
+
+	remaining float64
+	owner     *Proc  // parked process to wake on completion; nil for async jobs
+	onDone    func() // optional completion callback (async jobs)
+}
+
+// Remaining reports the work left, in resource units.
+func (j *PSJob) Remaining() float64 { return j.remaining }
+
+// PSResource is an egalitarian processor-sharing server: capacity units of
+// work per second, divided equally among all active jobs. It models both the
+// CPU (units = cpu-seconds) and the wireless link (units = bytes).
+type PSResource struct {
+	k        *Kernel
+	name     string
+	capacity float64
+
+	jobs       []*PSJob
+	lastUpdate time.Duration
+	completion *Event
+
+	// OnChange, if set, is invoked whenever the active job set changes
+	// (job added or removed), after the resource state is consistent.
+	OnChange func()
+
+	busyTime time.Duration // total time with >= 1 active job
+	served   float64       // total units completed
+}
+
+// NewPSResource returns a processor-sharing resource with the given capacity
+// in units per second of virtual time.
+func NewPSResource(k *Kernel, name string, capacity float64) *PSResource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: PSResource %q capacity must be positive, got %g", name, capacity))
+	}
+	return &PSResource{k: k, name: name, capacity: capacity, lastUpdate: k.Now()}
+}
+
+// Name returns the resource name.
+func (r *PSResource) Name() string { return r.name }
+
+// Capacity returns the configured capacity in units per second.
+func (r *PSResource) Capacity() float64 { return r.capacity }
+
+// SetCapacity changes the service rate, preserving work already done.
+func (r *PSResource) SetCapacity(c float64) {
+	if c <= 0 {
+		panic(fmt.Sprintf("sim: PSResource %q capacity must be positive, got %g", r.name, c))
+	}
+	r.advance()
+	r.capacity = c
+	r.reschedule()
+}
+
+// Active reports the number of jobs currently in service.
+func (r *PSResource) Active() int { return len(r.jobs) }
+
+// BusyTime reports accumulated time during which at least one job was active.
+func (r *PSResource) BusyTime() time.Duration {
+	d := r.busyTime
+	if len(r.jobs) > 0 {
+		d += r.k.Now() - r.lastUpdate
+	}
+	return d
+}
+
+// Served reports the total units of work completed so far.
+func (r *PSResource) Served() float64 { return r.served }
+
+// Shares appends the current (principal, fraction-of-capacity) pairs to dst
+// and returns it. Fractions sum to 1 when any job is active.
+func (r *PSResource) Shares(dst []Share) []Share {
+	n := len(r.jobs)
+	if n == 0 {
+		return dst
+	}
+	f := 1.0 / float64(n)
+	for _, j := range r.jobs {
+		dst = append(dst, Share{Principal: j.Principal, Fraction: f})
+	}
+	return dst
+}
+
+// Share is a principal's fraction of a resource at an instant.
+type Share struct {
+	Principal string
+	Fraction  float64
+}
+
+// advance applies service between lastUpdate and now to every active job.
+func (r *PSResource) advance() {
+	now := r.k.Now()
+	elapsed := (now - r.lastUpdate).Seconds()
+	if elapsed > 0 && len(r.jobs) > 0 {
+		rate := r.capacity / float64(len(r.jobs))
+		done := elapsed * rate
+		for _, j := range r.jobs {
+			j.remaining -= done
+			r.served += done
+		}
+		r.busyTime += now - r.lastUpdate
+	}
+	r.lastUpdate = now
+}
+
+// reschedule cancels any pending completion event and schedules one for the
+// earliest-finishing job, if any.
+func (r *PSResource) reschedule() {
+	if r.completion != nil {
+		r.completion.Cancel()
+		r.completion = nil
+	}
+	if len(r.jobs) == 0 {
+		return
+	}
+	min := r.jobs[0].remaining
+	for _, j := range r.jobs[1:] {
+		if j.remaining < min {
+			min = j.remaining
+		}
+	}
+	if min < 0 {
+		min = 0
+	}
+	dt := min * float64(len(r.jobs)) / r.capacity
+	r.completion = r.k.After(time.Duration(dt*float64(time.Second))+1, r.complete)
+}
+
+// complete retires every job whose work is done, wakes owners, and invokes
+// async callbacks.
+func (r *PSResource) complete() {
+	r.completion = nil
+	r.advance()
+	var finished []*PSJob
+	eps := r.epsilon()
+	keep := r.jobs[:0]
+	for _, j := range r.jobs {
+		if j.remaining <= eps {
+			finished = append(finished, j)
+		} else {
+			keep = append(keep, j)
+		}
+	}
+	for i := len(keep); i < len(r.jobs); i++ {
+		r.jobs[i] = nil
+	}
+	r.jobs = keep
+	r.reschedule()
+	if len(finished) > 0 && r.OnChange != nil {
+		r.OnChange()
+	}
+	for _, j := range finished {
+		if j.onDone != nil {
+			j.onDone()
+		}
+		if j.owner != nil {
+			r.k.transfer(j.owner)
+		}
+	}
+}
+
+// add inserts a job and updates scheduling state.
+func (r *PSResource) add(j *PSJob) {
+	r.advance()
+	r.jobs = append(r.jobs, j)
+	r.reschedule()
+	if r.OnChange != nil {
+		r.OnChange()
+	}
+}
+
+// Use blocks the calling process until demand units of work have been served
+// on behalf of principal. Zero or negative demand returns immediately.
+func (r *PSResource) Use(p *Proc, principal string, demand float64) {
+	if demand <= 0 {
+		return
+	}
+	j := &PSJob{Principal: principal, remaining: demand, owner: p}
+	r.add(j)
+	p.park()
+}
+
+// UseAsync enqueues demand units of work for principal without blocking any
+// process. onDone, if non-nil, runs in kernel context when the work
+// completes. It returns the job so callers can inspect progress.
+func (r *PSResource) UseAsync(principal string, demand float64, onDone func()) *PSJob {
+	if demand <= 0 {
+		if onDone != nil {
+			r.k.After(0, onDone)
+		}
+		return nil
+	}
+	j := &PSJob{Principal: principal, remaining: demand, onDone: onDone}
+	r.add(j)
+	return j
+}
+
+// EstimateLatency reports how long demand units would take to complete if
+// submitted now and if the current job set remained fixed. It is advisory
+// (used by adaptive applications to pick fidelities), not a guarantee.
+func (r *PSResource) EstimateLatency(demand float64) time.Duration {
+	if demand <= 0 {
+		return 0
+	}
+	n := float64(len(r.jobs) + 1)
+	return time.Duration(demand * n / r.capacity * float64(time.Second))
+}
+
+// Queue is an unbounded FIFO channel on virtual time: Put never blocks, Get
+// parks the caller until an item is available.
+type Queue[T any] struct {
+	k       *Kernel
+	items   []T
+	waiters *WaitList
+}
+
+// NewQueue returns an empty queue bound to k.
+func NewQueue[T any](k *Kernel) *Queue[T] {
+	return &Queue[T]{k: k, waiters: NewWaitList(k)}
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Put appends v and wakes one waiter if any.
+func (q *Queue[T]) Put(v T) {
+	q.items = append(q.items, v)
+	q.waiters.WakeOne()
+}
+
+// Get removes and returns the head item, parking p until one is available.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		q.waiters.Wait(p)
+	}
+	v := q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v
+}

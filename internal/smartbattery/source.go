@@ -1,0 +1,18 @@
+package smartbattery
+
+// Source adapts a Battery to the energy monitor's measurement interface
+// (core.EnergySource): quantized power readings and the pack's own residual
+// capacity, so Odyssey needs no externally supplied initial energy value.
+type Source struct {
+	B *Battery
+}
+
+// Residual implements core.EnergySource from the pack's capacity readout.
+func (s Source) Residual() float64 { return s.B.RemainingCapacity() }
+
+// Initial implements core.EnergySource from the design capacity.
+func (s Source) Initial() float64 { return s.B.Initial() }
+
+// SamplePower implements core.EnergySource from the quantized current
+// reading.
+func (s Source) SamplePower() float64 { return s.B.Power() }

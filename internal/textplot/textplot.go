@@ -1,0 +1,179 @@
+// Package textplot renders time series as ASCII charts for terminal tools —
+// the Figure 19 supply/demand curves and fidelity step functions without
+// leaving the console.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points. Points must be in ascending x
+// order.
+type Series struct {
+	Name   string
+	Marker byte
+	X      []float64
+	Y      []float64
+}
+
+// Plot is a fixed-size character canvas with axes.
+type Plot struct {
+	Title  string
+	Width  int // plot area columns (excluding the y-axis gutter)
+	Height int // plot area rows
+	XLabel string
+	YLabel string
+
+	series []Series
+}
+
+// New returns a plot of the given canvas size (sensible minimums applied).
+func New(title string, width, height int) *Plot {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	return &Plot{Title: title, Width: width, Height: height}
+}
+
+// Add appends a series. Markers default to a rotating set when zero.
+func (p *Plot) Add(s Series) {
+	if s.Marker == 0 {
+		markers := []byte{'*', '+', 'o', 'x', '#', '@'}
+		s.Marker = markers[len(p.series)%len(markers)]
+	}
+	if len(s.X) != len(s.Y) {
+		panic(fmt.Sprintf("textplot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y)))
+	}
+	p.series = append(p.series, s)
+}
+
+// bounds computes the data extents across all series.
+func (p *Plot) bounds() (xmin, xmax, ymin, ymax float64, ok bool) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return 0, 0, 0, 0, false
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	return xmin, xmax, ymin, ymax, true
+}
+
+// String renders the chart.
+func (p *Plot) String() string {
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	xmin, xmax, ymin, ymax, ok := p.bounds()
+	if !ok {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+
+	grid := make([][]byte, p.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", p.Width))
+	}
+	col := func(x float64) int {
+		c := int((x - xmin) / (xmax - xmin) * float64(p.Width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= p.Width {
+			c = p.Width - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		r := int((ymax - y) / (ymax - ymin) * float64(p.Height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= p.Height {
+			r = p.Height - 1
+		}
+		return r
+	}
+	for _, s := range p.series {
+		// Interpolate between points so lines are continuous across
+		// the canvas.
+		for i := 0; i+1 < len(s.X); i++ {
+			c0, c1 := col(s.X[i]), col(s.X[i+1])
+			for c := c0; c <= c1; c++ {
+				frac := 0.0
+				if c1 > c0 {
+					frac = float64(c-c0) / float64(c1-c0)
+				}
+				y := s.Y[i] + frac*(s.Y[i+1]-s.Y[i])
+				grid[row(y)][c] = s.Marker
+			}
+		}
+		if len(s.X) == 1 {
+			grid[row(s.Y[0])][col(s.X[0])] = s.Marker
+		}
+	}
+
+	gutter := 10
+	for r := 0; r < p.Height; r++ {
+		label := ""
+		switch r {
+		case 0:
+			label = trimNum(ymax)
+		case p.Height - 1:
+			label = trimNum(ymin)
+		}
+		fmt.Fprintf(&b, "%*s |%s\n", gutter, label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", gutter, "", strings.Repeat("-", p.Width))
+	left, right := trimNum(xmin), trimNum(xmax)
+	pad := p.Width - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%*s  %s%s%s", gutter, "", left, strings.Repeat(" ", pad), right)
+	if p.XLabel != "" {
+		fmt.Fprintf(&b, "  (%s)", p.XLabel)
+	}
+	b.WriteByte('\n')
+	legend := make([]string, 0, len(p.series))
+	for _, s := range p.series {
+		legend = append(legend, fmt.Sprintf("%c %s", s.Marker, s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%*s  %s\n", gutter, "", strings.Join(legend, "   "))
+	}
+	return b.String()
+}
+
+// trimNum formats a number compactly for axis labels.
+func trimNum(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 100000:
+		return fmt.Sprintf("%.0fk", v/1000)
+	case a >= 1000:
+		return fmt.Sprintf("%.1fk", v/1000)
+	case a >= 10:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}

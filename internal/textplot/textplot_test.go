@@ -1,0 +1,98 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEmptyPlot(t *testing.T) {
+	p := New("empty", 40, 10)
+	if !strings.Contains(p.String(), "(no data)") {
+		t.Fatalf("empty plot output: %q", p.String())
+	}
+}
+
+func TestSingleSeriesRenders(t *testing.T) {
+	p := New("ramp", 40, 10)
+	p.XLabel = "s"
+	xs := make([]float64, 21)
+	ys := make([]float64, 21)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i) * 2
+	}
+	p.Add(Series{Name: "supply", X: xs, Y: ys})
+	out := p.String()
+	for _, want := range []string{"ramp", "supply", "(s)", "40", "0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// A monotone ramp should put a marker in the top row and bottom row.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "*") {
+		t.Fatalf("no marker in top row:\n%s", out)
+	}
+}
+
+func TestTwoSeriesDistinctMarkers(t *testing.T) {
+	p := New("", 30, 8)
+	p.Add(Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}})
+	p.Add(Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}})
+	out := p.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+func TestConstantSeries(t *testing.T) {
+	p := New("flat", 30, 6)
+	p.Add(Series{Name: "c", X: []float64{0, 10}, Y: []float64{5, 5}})
+	out := p.String()
+	if strings.Contains(out, "no data") {
+		t.Fatalf("constant series treated as empty:\n%s", out)
+	}
+}
+
+func TestSinglePointSeries(t *testing.T) {
+	p := New("", 30, 6)
+	p.Add(Series{Name: "pt", X: []float64{3}, Y: []float64{7}})
+	if !strings.Contains(p.String(), "*") {
+		t.Fatalf("single point not drawn:\n%s", p.String())
+	}
+}
+
+func TestMismatchedSeriesPanics(t *testing.T) {
+	p := New("", 30, 6)
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched series lengths did not panic")
+		}
+	}()
+	p.Add(Series{Name: "bad", X: []float64{1, 2}, Y: []float64{1}})
+}
+
+func TestAxisLabels(t *testing.T) {
+	p := New("", 30, 6)
+	p.Add(Series{Name: "s", X: []float64{0, 1500}, Y: []float64{0, 22650}})
+	out := p.String()
+	// Large values are abbreviated with a k suffix.
+	if !strings.Contains(out, "22.7k") && !strings.Contains(out, "22.6k") {
+		t.Fatalf("y max label missing k-abbreviation:\n%s", out)
+	}
+	if !strings.Contains(out, "1.5k") {
+		t.Fatalf("x max label missing:\n%s", out)
+	}
+}
+
+func TestMinimumDimensions(t *testing.T) {
+	p := New("", 1, 1)
+	p.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}})
+	out := p.String()
+	if out == "" {
+		t.Fatal("tiny plot produced nothing")
+	}
+}

@@ -1,0 +1,143 @@
+// Package trace is a structured event log for simulation runs: adaptation
+// upcalls, device power-state transitions, application operations, and
+// monitor decisions, timestamped on the virtual clock. Experiments attach a
+// Log to record what happened; tools render it as text or CSV.
+//
+// The log is bounded: once the capacity is reached the oldest events are
+// dropped (and counted), so long goal-directed runs cannot grow without
+// limit.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Category classifies events for filtering.
+type Category string
+
+// Standard categories.
+const (
+	CatAdapt    Category = "adapt"    // fidelity upcalls
+	CatDevice   Category = "device"   // power-state transitions
+	CatOp       Category = "op"       // application operations
+	CatMonitor  Category = "monitor"  // energy-monitor decisions
+	CatResource Category = "resource" // viceroy resource updates
+)
+
+// Event is one timestamped observation.
+type Event struct {
+	Time     time.Duration
+	Category Category
+	Subject  string // who: app or device name
+	Message  string
+	Value    float64 // optional numeric payload (level, watts, joules)
+}
+
+// String renders the event on one line.
+func (e Event) String() string {
+	return fmt.Sprintf("%10.3fs %-8s %-10s %s (%.3g)",
+		e.Time.Seconds(), e.Category, e.Subject, e.Message, e.Value)
+}
+
+// Log is a bounded event recorder. The zero value is unusable; create one
+// with NewLog.
+type Log struct {
+	now     func() time.Duration
+	cap     int
+	events  []Event
+	dropped int
+}
+
+// NewLog creates a log reading timestamps from now, holding at most cap
+// events (cap <= 0 selects a generous default).
+func NewLog(now func() time.Duration, cap int) *Log {
+	if cap <= 0 {
+		cap = 1 << 16
+	}
+	return &Log{now: now, cap: cap}
+}
+
+// Add records an event at the current virtual time.
+func (l *Log) Add(cat Category, subject, message string, value float64) {
+	if len(l.events) >= l.cap {
+		// Drop the oldest half to amortize copying.
+		n := l.cap / 2
+		copy(l.events, l.events[n:])
+		l.events = l.events[:len(l.events)-n]
+		l.dropped += n
+	}
+	l.events = append(l.events, Event{
+		Time: l.now(), Category: cat, Subject: subject, Message: message, Value: value,
+	})
+}
+
+// Len reports the number of retained events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Dropped reports how many events were discarded to respect the bound.
+func (l *Log) Dropped() int { return l.dropped }
+
+// Events returns the retained events, oldest first (a copy).
+func (l *Log) Events() []Event {
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Filter returns the retained events matching the category (all categories
+// if cat is empty) and subject (all subjects if empty).
+func (l *Log) Filter(cat Category, subject string) []Event {
+	var out []Event
+	for _, e := range l.events {
+		if cat != "" && e.Category != cat {
+			continue
+		}
+		if subject != "" && e.Subject != subject {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Counts returns the number of events per (category, subject) pair,
+// rendered as "category/subject" keys, sorted in the returned key list.
+func (l *Log) Counts() (keys []string, counts map[string]int) {
+	counts = make(map[string]int)
+	for _, e := range l.events {
+		counts[string(e.Category)+"/"+e.Subject]++
+	}
+	keys = make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, counts
+}
+
+// Text renders the whole log, one event per line.
+func (l *Log) Text() string {
+	var b strings.Builder
+	for _, e := range l.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	if l.dropped > 0 {
+		fmt.Fprintf(&b, "(%d earlier events dropped)\n", l.dropped)
+	}
+	return b.String()
+}
+
+// CSV renders the log as comma-separated values with a header row.
+func (l *Log) CSV() string {
+	var b strings.Builder
+	b.WriteString("t_seconds,category,subject,message,value\n")
+	for _, e := range l.events {
+		fmt.Fprintf(&b, "%.3f,%s,%s,%q,%g\n",
+			e.Time.Seconds(), e.Category, e.Subject, e.Message, e.Value)
+	}
+	return b.String()
+}

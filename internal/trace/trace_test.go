@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedClock(t *time.Duration) func() time.Duration {
+	return func() time.Duration { return *t }
+}
+
+func TestAddAndFilter(t *testing.T) {
+	now := time.Duration(0)
+	l := NewLog(fixedClock(&now), 0)
+	l.Add(CatAdapt, "video", "level 3 -> 2", 2)
+	now = time.Second
+	l.Add(CatDevice, "disk", "idle -> standby", 0)
+	l.Add(CatAdapt, "speech", "level 1 -> 0", 0)
+
+	if l.Len() != 3 {
+		t.Fatalf("len %d", l.Len())
+	}
+	adapts := l.Filter(CatAdapt, "")
+	if len(adapts) != 2 {
+		t.Fatalf("%d adapt events", len(adapts))
+	}
+	video := l.Filter(CatAdapt, "video")
+	if len(video) != 1 || video[0].Value != 2 {
+		t.Fatalf("video events %v", video)
+	}
+	all := l.Filter("", "")
+	if len(all) != 3 {
+		t.Fatalf("unfiltered %d", len(all))
+	}
+	if all[1].Time != time.Second {
+		t.Fatalf("timestamp %v", all[1].Time)
+	}
+}
+
+func TestBoundedDropsOldest(t *testing.T) {
+	now := time.Duration(0)
+	l := NewLog(fixedClock(&now), 8)
+	for i := 0; i < 20; i++ {
+		l.Add(CatOp, "app", "op", float64(i))
+	}
+	if l.Len() > 8 {
+		t.Fatalf("log grew to %d beyond cap", l.Len())
+	}
+	if l.Dropped() == 0 {
+		t.Fatal("no drops recorded")
+	}
+	evs := l.Events()
+	// The newest event must be retained.
+	if evs[len(evs)-1].Value != 19 {
+		t.Fatalf("newest retained value %v", evs[len(evs)-1].Value)
+	}
+	// Retained events stay in order.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Value < evs[i-1].Value {
+			t.Fatal("events out of order after dropping")
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	now := time.Duration(0)
+	l := NewLog(fixedClock(&now), 0)
+	l.Add(CatAdapt, "video", "x", 0)
+	l.Add(CatAdapt, "video", "y", 0)
+	l.Add(CatDevice, "nic", "z", 0)
+	keys, counts := l.Counts()
+	if len(keys) != 2 || counts["adapt/video"] != 2 || counts["device/nic"] != 1 {
+		t.Fatalf("counts %v %v", keys, counts)
+	}
+}
+
+func TestTextAndCSV(t *testing.T) {
+	now := 1500 * time.Millisecond
+	l := NewLog(fixedClock(&now), 0)
+	l.Add(CatMonitor, "odyssey", `degrade "video"`, 1)
+	text := l.Text()
+	if !strings.Contains(text, "monitor") || !strings.Contains(text, "odyssey") {
+		t.Fatalf("text: %q", text)
+	}
+	csv := l.CSV()
+	if !strings.HasPrefix(csv, "t_seconds,category,subject,message,value\n") {
+		t.Fatalf("csv header: %q", csv)
+	}
+	if !strings.Contains(csv, "1.500,monitor,odyssey") {
+		t.Fatalf("csv row: %q", csv)
+	}
+	// Quoted message survives embedded quotes.
+	if !strings.Contains(csv, `"degrade \"video\""`) {
+		t.Fatalf("csv quoting: %q", csv)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Time: 2 * time.Second, Category: CatDevice, Subject: "disk", Message: "spin-up", Value: 2.3}
+	s := e.String()
+	for _, want := range []string{"2.000s", "device", "disk", "spin-up"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("event string %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package workload composes the four adaptive applications into the
+// multi-application scenarios of the paper's evaluation: the composite
+// application (Section 3.7's speech+web+map loop), the background video
+// feed, the goal-directed drivers of Section 5 (composite started every
+// 25 seconds over a continuously playing video), and the stochastic bursty
+// workload of the longer-duration experiments.
+package workload
+
+import (
+	"time"
+
+	"odyssey/internal/app/env"
+	"odyssey/internal/app/mapview"
+	"odyssey/internal/app/speech"
+	"odyssey/internal/app/video"
+	"odyssey/internal/app/web"
+	"odyssey/internal/core"
+	"odyssey/internal/sim"
+)
+
+// Priorities of the goal-directed experiments: "The applications are
+// prioritized with Speech having the lowest priority, and Map, Video, and
+// Web having successively higher priority" is the Figure 19 ordering the
+// trace exhibits; the text fixes Speech lowest and Web highest.
+const (
+	PrioritySpeech = 1
+	PriorityVideo  = 2
+	PriorityMap    = 3
+	PriorityWeb    = 4
+)
+
+// Apps bundles one instance of each adaptive application on a rig.
+type Apps struct {
+	Rig    *env.Rig
+	Video  *video.Player
+	Speech *speech.Recognizer
+	Map    *mapview.Viewer
+	Web    *web.Browser
+
+	utterances []speech.Utterance
+	maps       []mapview.Map
+	images     []web.Image
+	clips      []video.Clip
+}
+
+// newGoalRecognizer returns a recognizer whose lowest fidelity also
+// switches to the hybrid strategy, per Section 5's energy-optimal policy.
+func newGoalRecognizer(rig *env.Rig) *speech.Recognizer {
+	r := speech.NewRecognizer(rig)
+	r.AdaptMode = true
+	return r
+}
+
+// NewApps instantiates the four applications on rig.
+func NewApps(rig *env.Rig) *Apps {
+	return &Apps{
+		Rig:        rig,
+		Video:      video.NewPlayer(rig),
+		Speech:     newGoalRecognizer(rig),
+		Map:        mapview.NewViewer(rig),
+		Web:        web.NewBrowser(rig),
+		utterances: speech.StandardUtterances(),
+		maps:       mapview.StandardMaps(),
+		images:     web.StandardImages(),
+		clips:      video.StandardClips(),
+	}
+}
+
+// Register places all four applications under viceroy control with the
+// paper's priorities and returns the registrations.
+func (a *Apps) Register() []*core.Registration {
+	v := a.Rig.V
+	return []*core.Registration{
+		v.RegisterApp(a.Speech, PrioritySpeech),
+		v.RegisterApp(a.Video, PriorityVideo),
+		v.RegisterApp(a.Map, PriorityMap),
+		v.RegisterApp(a.Web, PriorityWeb),
+	}
+}
+
+// SetAllLowest drops every application to its lowest fidelity.
+func (a *Apps) SetAllLowest() {
+	a.Video.SetLevel(0)
+	a.Speech.SetLevel(0)
+	a.Map.SetLevel(0)
+	a.Web.SetLevel(0)
+}
+
+// SetAllHighest raises every application to full fidelity.
+func (a *Apps) SetAllHighest() {
+	a.Video.SetLevel(len(a.Video.Levels()) - 1)
+	a.Speech.SetLevel(len(a.Speech.Levels()) - 1)
+	a.Map.SetLevel(len(a.Map.Levels()) - 1)
+	a.Web.SetLevel(len(a.Web.Levels()) - 1)
+}
+
+// CompositeIteration performs one loop of the composite application: local
+// recognition of two speech utterances, access of a Web page, and access of
+// a map, with five seconds of think time after each visual access (the
+// viewers' configured think times). The iteration index rotates through the
+// standard data objects.
+func (a *Apps) CompositeIteration(p *sim.Proc, i int) {
+	n := len(a.utterances)
+	a.Speech.Recognize(p, a.utterances[(2*i)%n])
+	a.Speech.Recognize(p, a.utterances[(2*i+1)%n])
+	a.Web.Fetch(p, a.images[i%len(a.images)])
+	a.Map.View(p, a.maps[i%len(a.maps)])
+}
+
+// RunComposite executes the composite application for the given number of
+// iterations (six in Figure 15's experiments).
+func (a *Apps) RunComposite(p *sim.Proc, iterations int) {
+	for i := 0; i < iterations; i++ {
+		a.CompositeIteration(p, i)
+	}
+}
+
+// VideoLoop plays the newsfeed clip repeatedly until stop returns true
+// (checked at clip boundaries) — the background video of Sections 3.7
+// and 5.
+func (a *Apps) VideoLoop(p *sim.Proc, clip video.Clip, stop func() bool) {
+	for !stop() {
+		a.Video.Play(p, clip)
+	}
+}
+
+// StartGoalWorkload launches the Section 5 drivers: the background video
+// playing continuously and a composite iteration starting every period
+// (25 s in the paper, to obtain a continuous workload). Both stop once
+// until() reports true.
+func (a *Apps) StartGoalWorkload(period time.Duration, until func() bool) {
+	k := a.Rig.K
+	k.Spawn("video-loop", func(p *sim.Proc) {
+		clip := video.Clip{Name: "newsfeed", Length: 30 * time.Second}
+		a.VideoLoop(p, clip, until)
+	})
+	k.Spawn("composite-loop", func(p *sim.Proc) {
+		for i := 0; !until(); i++ {
+			iterStart := p.Now()
+			a.CompositeIteration(p, i)
+			next := iterStart + period
+			if next > p.Now() {
+				p.SleepUntil(next)
+			}
+		}
+	})
+}
+
+// BurstyConfig parameterizes the stochastic workload of Figure 22.
+type BurstyConfig struct {
+	// SwitchProbability is the per-minute chance an application flips
+	// between active and idle (0.1 in the paper).
+	SwitchProbability float64
+	// Slot is the scheduling quantum (one minute in the paper).
+	Slot time.Duration
+}
+
+// DefaultBurstyConfig returns the paper's stochastic model parameters.
+func DefaultBurstyConfig() BurstyConfig {
+	return BurstyConfig{SwitchProbability: 0.10, Slot: time.Minute}
+}
+
+// StartBurstyWorkload launches four independently bursty applications: in
+// each slot an active application executes a fixed workload (the video
+// application shows a one-minute video, the map application fetches five
+// maps, and so on), and at each slot boundary it stays in its current state
+// with probability 1-SwitchProbability. Applications stop once until()
+// reports true.
+func (a *Apps) StartBurstyWorkload(cfg BurstyConfig, until func() bool) {
+	k := a.Rig.K
+	rng := k.Rand()
+
+	slotted := func(name string, work func(p *sim.Proc, slot int)) {
+		k.Spawn(name, func(p *sim.Proc) {
+			active := rng.Float64() < 0.5
+			for slot := 0; !until(); slot++ {
+				slotStart := p.Now()
+				if active {
+					work(p, slot)
+				}
+				if next := slotStart + cfg.Slot; next > p.Now() {
+					p.SleepUntil(next)
+				}
+				if rng.Float64() < cfg.SwitchProbability {
+					active = !active
+				}
+			}
+		})
+	}
+
+	slotted("bursty-video", func(p *sim.Proc, slot int) {
+		a.Video.Play(p, video.Clip{Name: "bursty-minute", Length: cfg.Slot - 5*time.Second})
+	})
+	slotted("bursty-speech", func(p *sim.Proc, slot int) {
+		for i := 0; i < 4; i++ {
+			a.Speech.Recognize(p, a.utterances[(slot+i)%len(a.utterances)])
+			p.Sleep(3 * time.Second)
+		}
+	})
+	slotted("bursty-map", func(p *sim.Proc, slot int) {
+		for i := 0; i < 5; i++ {
+			a.Map.View(p, a.maps[(slot+i)%len(a.maps)])
+		}
+	})
+	slotted("bursty-web", func(p *sim.Proc, slot int) {
+		for i := 0; i < 5; i++ {
+			a.Web.Fetch(p, a.images[(slot+i)%len(a.images)])
+		}
+	})
+}
