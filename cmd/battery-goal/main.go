@@ -77,12 +77,6 @@ func main() {
 	}
 
 	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
 		apps := make([]string, 0)
 		if len(r.Trace) > 0 {
 			for n := range r.Trace[0].Levels {
@@ -90,13 +84,18 @@ func main() {
 			}
 			sort.Strings(apps)
 		}
-		fmt.Fprintf(f, "t_seconds,supply_j,demand_j,%s\n", strings.Join(apps, ","))
+		var csv strings.Builder
+		fmt.Fprintf(&csv, "t_seconds,supply_j,demand_j,%s\n", strings.Join(apps, ","))
 		for _, tp := range r.Trace {
-			row := fmt.Sprintf("%.1f,%.1f,%.1f", tp.Time.Seconds(), tp.Supply, tp.Demand)
+			fmt.Fprintf(&csv, "%.1f,%.1f,%.1f", tp.Time.Seconds(), tp.Supply, tp.Demand)
 			for _, a := range apps {
-				row += fmt.Sprintf(",%d", tp.Levels[a])
+				fmt.Fprintf(&csv, ",%d", tp.Levels[a])
 			}
-			fmt.Fprintln(f, row)
+			csv.WriteByte('\n')
+		}
+		if err := os.WriteFile(*traceFile, []byte(csv.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		fmt.Printf("Trace written to %s (%d points)\n", *traceFile, len(r.Trace))
 	}

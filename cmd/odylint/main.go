@@ -1,0 +1,146 @@
+// Command odylint runs the repository's domain-specific static-analysis
+// suite (see internal/lint) and exits non-zero if any diagnostic fires,
+// making it suitable as a CI gate:
+//
+//	go run ./cmd/odylint ./...
+//
+// Usage:
+//
+//	odylint [flags] [patterns]
+//
+// Patterns select packages by import path relative to the module root:
+// "./..." (the default) lints every package, "./internal/sim" one package,
+// "./internal/..." a subtree. Flags:
+//
+//	-list          print the analyzers and exit
+//	-only a,b      run only the named analyzers
+//	-typeerrors    also print type-checker errors encountered while loading
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"odyssey/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	typeErrors := flag.Bool("typeerrors", false, "print type-checker errors encountered while loading")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "odylint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	mod, err := lint.LoadModule(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "odylint: %v\n", err)
+		os.Exit(2)
+	}
+
+	filter, err := patternFilter(mod.Path, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "odylint: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *typeErrors {
+		for _, pkg := range mod.Pkgs {
+			for _, te := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "odylint: typecheck %s: %v\n", pkg.Path, te)
+			}
+		}
+	}
+
+	diags := lint.RunModule(mod, analyzers, filter)
+	for _, d := range diags {
+		fmt.Printf("%s:%d:%d: %s (%s)\n", relTo(mod.Root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "odylint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// patternFilter converts "./..."-style patterns into an import-path
+// predicate rooted at the module path.
+func patternFilter(modPath string, patterns []string) (func(string) bool, error) {
+	type rule struct {
+		path string
+		tree bool
+	}
+	var rules []rule
+	for _, p := range patterns {
+		orig := p
+		tree := false
+		if p == "all" || p == "..." {
+			p = "./..."
+		}
+		if strings.HasSuffix(p, "/...") {
+			tree = true
+			p = strings.TrimSuffix(p, "/...")
+		}
+		p = strings.TrimPrefix(p, "./")
+		p = strings.Trim(p, "/")
+		var ip string
+		switch {
+		case p == "" || p == ".":
+			ip = modPath
+		case strings.HasPrefix(p, modPath):
+			ip = p
+		default:
+			ip = modPath + "/" + p
+		}
+		if strings.ContainsAny(p, "*[?") {
+			return nil, fmt.Errorf("unsupported pattern %q (use ./dir or ./dir/...)", orig)
+		}
+		rules = append(rules, rule{path: ip, tree: tree})
+	}
+	return func(pkgPath string) bool {
+		for _, r := range rules {
+			if pkgPath == r.path {
+				return true
+			}
+			if r.tree && strings.HasPrefix(pkgPath, r.path+"/") {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
+func relTo(root, path string) string {
+	if !strings.HasPrefix(path, root) {
+		return path
+	}
+	return strings.TrimPrefix(strings.TrimPrefix(path, root), "/")
+}

@@ -188,6 +188,7 @@ func (pl *Player) watchBandwidth(resource string) error {
 	_, err := pl.rig.V.Request(resource, need, high, func(avail float64) {
 		pl.adaptToBandwidth(avail)
 		if err := pl.watchBandwidth(resource); err != nil {
+			//odylint:allow panicfree failure inside an async upcall has no caller to return to
 			panic(err) // resource disappeared mid-run: programming error
 		}
 	})

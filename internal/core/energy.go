@@ -156,6 +156,7 @@ func NewEnergyMonitor(v *Viceroy, acct *power.Accountant, supply *power.Supply, 
 // an arbitrary measurement source (e.g. a SmartBattery).
 func NewEnergyMonitorSource(v *Viceroy, src EnergySource, cfg EnergyConfig) *EnergyMonitor {
 	if cfg.SamplePeriod <= 0 || cfg.EvalPeriod <= 0 {
+		//odylint:allow panicfree constructor precondition; invariant guard
 		panic("core: energy monitor periods must be positive")
 	}
 	return &EnergyMonitor{

@@ -85,10 +85,12 @@ func NewFidelitySpace(dims []FidelityDimension) *FidelitySpace {
 // coordinate indexes, returning its level index.
 func (fs *FidelitySpace) Add(name string, coords ...int) int {
 	if len(coords) != len(fs.dims) {
+		//odylint:allow panicfree malformed fidelity space is a registration bug; invariant guard
 		panic(fmt.Sprintf("core: level %q has %d coords for %d dimensions", name, len(coords), len(fs.dims)))
 	}
 	for i, c := range coords {
 		if c < 0 || c >= len(fs.dims[i].Values) {
+			//odylint:allow panicfree malformed fidelity space is a registration bug; invariant guard
 			panic(fmt.Sprintf("core: level %q coord %d out of range for dimension %q", name, c, fs.dims[i].Name))
 		}
 	}

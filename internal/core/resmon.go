@@ -31,6 +31,7 @@ type ResourceMonitor struct {
 // every period.
 func (v *Viceroy) MonitorResource(name string, period time.Duration, sample func() float64) *ResourceMonitor {
 	if period <= 0 {
+		//odylint:allow panicfree constructor precondition; invariant guard
 		panic("core: resource monitor period must be positive")
 	}
 	v.DeclareResource(name, sample())

@@ -176,8 +176,12 @@ func (g *Grid) BreakdownTable(object int) *Table {
 		names = append(names, n)
 	}
 	sort.Slice(names, func(i, j int) bool {
-		if totals[names[i]] != totals[names[j]] {
-			return totals[names[i]] > totals[names[j]]
+		ti, tj := totals[names[i]], totals[names[j]]
+		if ti > tj {
+			return true
+		}
+		if ti < tj {
+			return false
 		}
 		return names[i] < names[j]
 	})

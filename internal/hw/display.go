@@ -46,6 +46,7 @@ type Display struct {
 // fully bright.
 func NewDisplay(acct *power.Accountant, prof Profile, zones int) *Display {
 	if zones < 1 {
+		//odylint:allow panicfree constructor precondition; invariant guard
 		panic(fmt.Sprintf("hw: display must have at least one zone, got %d", zones))
 	}
 	d := &Display{acct: acct, prof: prof, zones: make([]BacklightMode, zones)}
@@ -89,6 +90,7 @@ func (d *Display) SetAll(m BacklightMode) {
 // SetZone sets a single zone's illumination.
 func (d *Display) SetZone(i int, m BacklightMode) {
 	if i < 0 || i >= len(d.zones) {
+		//odylint:allow panicfree equivalent to an out-of-range slice index; invariant guard
 		panic(fmt.Sprintf("hw: zone %d out of range [0,%d)", i, len(d.zones)))
 	}
 	d.zones[i] = m

@@ -19,6 +19,7 @@ import (
 // Busy power scales as speed cubed (voltage tracks frequency).
 func (c *CPU) SetSpeed(s float64) {
 	if s <= 0 || s > 1 {
+		//odylint:allow panicfree out-of-range speed corrupts the energy model; invariant guard
 		panic("hw: CPU speed must be in (0, 1]")
 	}
 	c.speed = s
@@ -28,6 +29,7 @@ func (c *CPU) SetSpeed(s float64) {
 
 // Speed returns the current clock fraction.
 func (c *CPU) Speed() float64 {
+	//odylint:allow floateq zero is the explicit unset sentinel, assigned never computed
 	if c.speed == 0 {
 		return 1
 	}
@@ -99,6 +101,7 @@ func (g *DVSGovernor) Stop() {
 		g.ev.Cancel()
 		g.ev = nil
 	}
+	//odylint:allow floateq speeds come from the discrete ladder, assigned never computed
 	if g.cpu.Speed() != 1.0 {
 		g.cpu.SetSpeed(1.0)
 		g.changes++
@@ -136,6 +139,7 @@ func (g *DVSGovernor) adjust() {
 			break
 		}
 	}
+	//odylint:allow floateq speeds come from the discrete ladder, assigned never computed
 	if chosen != g.cpu.Speed() {
 		g.cpu.SetSpeed(chosen)
 		g.changes++

@@ -188,6 +188,7 @@ func (g ZoneGrid) CoveredZones(r Rect) []int {
 // must match the grid.
 func (d *Display) IlluminateWindow(g ZoneGrid, r Rect, litMode, restMode BacklightMode) {
 	if g.Zones() != d.Zones() {
+		//odylint:allow panicfree mismatched grid is a caller bug; invariant guard
 		panic(fmt.Sprintf("hw: grid has %d zones, display has %d", g.Zones(), d.Zones()))
 	}
 	snapped := g.SnapTo(r)

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detrand enforces determinism in the simulation substrate: inside the
+// restricted packages, all time must come from the virtual clock and all
+// randomness from an injected, seeded *rand.Rand. Wall-clock reads
+// (time.Now, time.Since), global math/rand state, and environment-variable
+// lookups each make two runs with the same seed diverge, which silently
+// invalidates every energy figure the harness reproduces.
+//
+// Constructing a private generator (rand.New, rand.NewSource, and the v2
+// equivalents) is allowed; consuming the shared global one is not.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid wall-clock time, global math/rand, and environment reads in the simulation substrate",
+	Run:  runDetrand,
+}
+
+// detrandPackages are the import-path suffixes the rule governs: everything
+// that executes on, or feeds numbers into, the deterministic kernel.
+var detrandPackages = []string{
+	"internal/sim",
+	"internal/core",
+	"internal/power",
+	"internal/hw",
+	"internal/experiment",
+}
+
+// detrandForbidden maps package path -> forbidden member -> short reason.
+var detrandForbidden = map[string]map[string]string{
+	"time": {
+		"Now":   "use the kernel's virtual clock (Kernel.Now)",
+		"Since": "use the kernel's virtual clock (Kernel.Now)",
+	},
+	"os": {
+		"Getenv":    "behaviour must not depend on the environment; thread configuration explicitly",
+		"LookupEnv": "behaviour must not depend on the environment; thread configuration explicitly",
+		"Environ":   "behaviour must not depend on the environment; thread configuration explicitly",
+	},
+}
+
+// detrandRandAllowed lists the math/rand (and v2) members that construct an
+// explicitly seeded generator rather than consuming the global one.
+var detrandRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes a *Rand; does not touch global state
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runDetrand(pass *Pass) {
+	if !inAnyPackage(pass.Pkg.Path, detrandPackages) {
+		return
+	}
+	pass.inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.Pkg.Info.Uses[ident].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pkgName.Imported().Path()
+		member := sel.Sel.Name
+		switch path {
+		case "math/rand", "math/rand/v2":
+			// Referring to the types (rand.Rand, rand.Source) is fine;
+			// only package-level functions touch the shared global state.
+			if _, isType := pass.Pkg.Info.Uses[sel.Sel].(*types.TypeName); isType {
+				return true
+			}
+			if !detrandRandAllowed[member] {
+				pass.Reportf(sel.Pos(),
+					"global rand.%s in deterministic package %s: use the kernel's seeded *rand.Rand",
+					member, pass.Pkg.Path)
+			}
+		default:
+			if reason, bad := detrandForbidden[path][member]; bad {
+				pass.Reportf(sel.Pos(),
+					"%s.%s in deterministic package %s: %s",
+					path, member, pass.Pkg.Path, reason)
+			}
+		}
+		return true
+	})
+}
+
+func inAnyPackage(pkgPath string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if pathHasSuffix(pkgPath, s) || containsSegment(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsSegment reports whether path contains the slash-separated segment
+// sequence seg anywhere (so subpackages like internal/app/env under a
+// governed tree still match when seg names a parent).
+func containsSegment(path, seg string) bool {
+	if pathHasSuffix(path, seg) {
+		return true
+	}
+	// A governed tree also covers its subpackages: ".../internal/sim/x".
+	for i := 0; i+len(seg) < len(path); i++ {
+		if (i == 0 || path[i-1] == '/') && path[i:i+len(seg)] == seg && path[i+len(seg)] == '/' {
+			return true
+		}
+	}
+	return false
+}

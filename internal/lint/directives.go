@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives.
+//
+// A comment of the form
+//
+//	//odylint:allow analyzer1,analyzer2 <justification>
+//
+// silences the named analyzers on the directive's own line (trailing
+// comment) and on the line immediately below it (standalone comment).
+// The justification is free text; write one. Directives exist for the rare
+// case where a rule's letter conflicts with its spirit - a deliberately
+// exact float comparison in a tie-break, an invariant panic that guards
+// simulation causality - and every use is greppable for review.
+
+const directivePrefix = "odylint:allow"
+
+// collectDirectives records, for every //odylint:allow comment in file,
+// "filename:line:analyzer" keys for the directive line and the line after.
+func collectDirectives(fset *token.FileSet, file *ast.File, allow map[string]bool) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+			names, _, _ := strings.Cut(rest, " ")
+			pos := fset.Position(c.Pos())
+			for _, name := range strings.Split(names, ",") {
+				name = strings.TrimSpace(name)
+				if name == "" {
+					continue
+				}
+				allow[fmt.Sprintf("%s:%d:%s", pos.Filename, pos.Line, name)] = true
+				allow[fmt.Sprintf("%s:%d:%s", pos.Filename, pos.Line+1, name)] = true
+			}
+		}
+	}
+}
+
+// pathHasSuffix reports whether import path p ends with the slash-separated
+// suffix (matching whole path segments, so "internal/sim" matches
+// "odyssey/internal/sim" but not "odyssey/internal/simx").
+func pathHasSuffix(p, suffix string) bool {
+	return p == suffix || strings.HasSuffix(p, "/"+suffix)
+}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Droppederr flags calls whose error result is silently discarded: a call
+// returning an error used as a bare statement, or in go/defer position.
+// A dropped error in the measurement path means a figure can be built from
+// a partially written profile or a failed render without anyone noticing.
+//
+// Explicit discards remain visible and legal: assign to blank
+// ("_ = f()") when the error is genuinely uninteresting. A small
+// allowlist covers writers that cannot fail (strings.Builder,
+// bytes.Buffer) and human-facing fmt output to stdout/stderr, where
+// there is nothing actionable to do with the error.
+var Droppederr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "flag silently discarded error returns",
+	Run:  runDroppederr,
+}
+
+func runDroppederr(pass *Pass) {
+	info := pass.Pkg.Info
+	report := func(call *ast.CallExpr, how string) {
+		if !returnsError(info, call) || allowlistedCall(info, call) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"%s discards the call's error result: handle it or assign to _ explicitly", how)
+	}
+	pass.inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				report(call, "statement")
+			}
+		case *ast.GoStmt:
+			report(n.Call, "go statement")
+		case *ast.DeferStmt:
+			report(n.Call, "defer")
+		}
+		return true
+	})
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}
+
+// allowlistedCall exempts calls whose error is non-actionable by
+// construction: methods on strings.Builder / bytes.Buffer (documented to
+// always return nil errors) and fmt printing to the process's own
+// stdout/stderr.
+func allowlistedCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+
+	// Method on an infallible writer?
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		recv := s.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok && named.Obj().Pkg() != nil {
+			full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			if full == "strings.Builder" || full == "bytes.Buffer" {
+				return true
+			}
+		}
+		return false
+	}
+
+	// fmt.Print*/fmt.Fprint* to stdout or stderr?
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "fmt" {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Print", "Printf", "Println":
+		return true
+	case "Fprint", "Fprintf", "Fprintln":
+		if len(call.Args) == 0 {
+			return false
+		}
+		return isStdStream(info, call.Args[0]) || isInfallibleWriter(info, call.Args[0])
+	}
+	return false
+}
+
+func isStdStream(info *types.Info, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return false
+	}
+	return sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr"
+}
+
+func isInfallibleWriter(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floateq flags == and != between floating-point expressions (including
+// float switch cases). Energy and power values are accumulated through
+// long chains of multiply-adds, so exact comparison is almost always a
+// latent bug: two mathematically equal integrals differ in the last ulp
+// and the comparison silently picks a branch. Compare against a tolerance
+// (see internal/stats) or restructure the logic.
+//
+// Comparisons where every operand is a compile-time constant are exempt
+// (the compiler evaluates those exactly); deliberate exact comparisons -
+// e.g. sentinel values or sort tie-breaks on already-equal-or-not sums -
+// carry an //odylint:allow floateq justification.
+var Floateq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= between floating-point expressions",
+	Run:  runFloateq,
+}
+
+func runFloateq(pass *Pass) {
+	info := pass.Pkg.Info
+	pass.inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			if !isFloatExpr(info, n.X) && !isFloatExpr(info, n.Y) {
+				return true
+			}
+			if isConstExpr(info, n.X) && isConstExpr(info, n.Y) {
+				return true
+			}
+			pass.Reportf(n.OpPos,
+				"exact floating-point comparison (%s): compare with a tolerance or justify with //odylint:allow floateq",
+				n.Op)
+		case *ast.SwitchStmt:
+			if n.Tag == nil || !isFloatExpr(info, n.Tag) {
+				return true
+			}
+			pass.Reportf(n.Tag.Pos(),
+				"switch on floating-point value compares cases exactly: compare with a tolerance")
+		}
+		return true
+	})
+}
+
+func isFloatExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Kernelctx protects the kernel's one-runnable-at-a-time handshake. The
+// unbuffered Kernel.yield and Proc.resume channels are the only
+// synchronization in the simulation: control passes kernel -> process on
+// resume and process -> kernel on yield, and exactly three functions are
+// allowed to touch them - (*Kernel).transfer, (*Proc).park, and
+// (*Kernel).Spawn (the bootstrap hand-off). A raw send or receive anywhere
+// else desynchronizes the handshake: either two goroutines run
+// simultaneously (a data race over all kernel state) or both sides block
+// forever.
+//
+// Within internal/sim the analyzer flags any send, receive, or close on a
+// yield/resume field outside the blessed three. Outside internal/sim it
+// flags any reference to those fields or to transfer/park (possible only
+// via code cloned out of the package, but the rule is cheap to state).
+var Kernelctx = &Analyzer{
+	Name: "kernelctx",
+	Doc:  "confine Kernel.yield/Proc.resume channel operations to transfer, park, and Spawn",
+	Run:  runKernelctx,
+}
+
+// kernelctxBlessed are the only functions allowed to operate the handshake
+// channels directly.
+var kernelctxBlessed = map[string]bool{
+	"transfer": true,
+	"park":     true,
+	"Spawn":    true,
+}
+
+func runKernelctx(pass *Pass) {
+	if pathHasSuffix(pass.Pkg.Path, "internal/sim") {
+		runKernelctxInside(pass)
+		return
+	}
+	runKernelctxOutside(pass)
+}
+
+// runKernelctxInside enforces the in-package rule: raw channel operations
+// on yield/resume only inside the blessed functions.
+func runKernelctxInside(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil && kernelctxBlessed[fd.Name.Name] {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				if sel, op := handshakeChanOp(pass.Pkg.Info, n); sel != nil {
+					fn := "package scope"
+					if ok {
+						fn = fd.Name.Name
+					}
+					pass.Reportf(n.Pos(),
+						"direct %s on handshake channel %s in %s: only transfer, park, and Spawn may operate it",
+						op, sel.Sel.Name, fn)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// handshakeChanOp reports whether n is a send, receive, or close whose
+// channel operand is a yield/resume struct field of channel type, and names
+// the operation.
+func handshakeChanOp(info *types.Info, n ast.Node) (*ast.SelectorExpr, string) {
+	var ch ast.Expr
+	var op string
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		ch, op = n.Chan, "send"
+	case *ast.UnaryExpr:
+		if n.Op != token.ARROW {
+			return nil, ""
+		}
+		ch, op = n.X, "receive"
+	case *ast.CallExpr:
+		id, ok := n.Fun.(*ast.Ident)
+		if !ok || id.Name != "close" || len(n.Args) != 1 {
+			return nil, ""
+		}
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+			return nil, ""
+		}
+		ch, op = n.Args[0], "close"
+	default:
+		return nil, ""
+	}
+	sel, ok := ch.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	if sel.Sel.Name != "yield" && sel.Sel.Name != "resume" {
+		return nil, ""
+	}
+	// Require a struct-field selection of channel type so that unrelated
+	// locals named yield/resume don't trip the rule.
+	if s, ok := info.Selections[sel]; ok {
+		if s.Kind() != types.FieldVal {
+			return nil, ""
+		}
+		if _, isChan := s.Type().Underlying().(*types.Chan); !isChan {
+			return nil, ""
+		}
+	}
+	return sel, op
+}
+
+// runKernelctxOutside flags references to the handshake internals from any
+// other package.
+func runKernelctxOutside(pass *Pass) {
+	pass.inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if name != "yield" && name != "resume" && name != "park" && name != "transfer" {
+			return true
+		}
+		s, ok := pass.Pkg.Info.Selections[sel]
+		if !ok {
+			return true
+		}
+		recv := s.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return true
+		}
+		if !pathHasSuffix(named.Obj().Pkg().Path(), "internal/sim") {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"%s.%s is kernel-internal: the scheduling handshake may only be driven from inside internal/sim",
+			named.Obj().Name(), name)
+		return true
+	})
+}

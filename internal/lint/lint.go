@@ -1,0 +1,138 @@
+// Package lint is odylint's engine: a dependency-free static-analysis
+// framework purpose-built for this repository's invariants.
+//
+// Every result this reproduction reports is an energy integral computed by
+// the deterministic discrete-event kernel in internal/sim. A single stray
+// time.Now, global math/rand call, or exact float comparison can silently
+// corrupt the Figure 4-style validations without failing any test, so the
+// rules that protect measurement integrity are enforced mechanically here
+// rather than by review. The framework loads the whole module with only
+// the standard library (go/build for file discovery, go/parser for syntax,
+// go/types with a GOROOT source importer for semantics - no
+// golang.org/x/tools, keeping go.mod dependency-free), then runs named
+// analyzers that report file:line diagnostics.
+//
+// Analyzers (see their files for the precise rules):
+//
+//   - detrand:    forbids wall-clock, environment, and global-RNG reads in
+//     the simulation substrate; virtual time and injected RNG only.
+//   - floateq:    flags == / != between floating-point energy/power values.
+//   - kernelctx:  confines the kernel's yield/resume handshake channels to
+//     the three blessed functions (transfer, park, Spawn).
+//   - panicfree:  flags panic in library code (cmd/ and examples/ exempt).
+//   - droppederr: flags silently discarded error returns.
+//
+// A diagnostic can be suppressed, with justification, by an
+// "//odylint:allow <analyzer>" comment on or directly above the offending
+// line; see directives.go.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding: an analyzer's complaint at a position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Detrand,
+		Floateq,
+		Kernelctx,
+		Panicfree,
+		Droppederr,
+	}
+}
+
+// Pass is one (analyzer, package) execution. Analyzers read the syntax and
+// type information and call Reportf; the framework handles suppression
+// directives and collection.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Module   *Module
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless an //odylint:allow directive
+// suppresses this analyzer on that line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Module.Fset.Position(pos)
+	if p.Pkg.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run loads the module rooted at (or above) dir and applies every analyzer
+// to each package accepted by filter (nil means all). Diagnostics come back
+// sorted by file, line, column, analyzer. The returned error covers load
+// failures only; lint findings are data, not errors.
+func Run(dir string, analyzers []*Analyzer, filter func(pkgPath string) bool) ([]Diagnostic, error) {
+	mod, err := LoadModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	return RunModule(mod, analyzers, filter), nil
+}
+
+// RunModule applies analyzers to an already-loaded module.
+func RunModule(mod *Module, analyzers []*Analyzer, filter func(pkgPath string) bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range mod.Pkgs {
+		if filter != nil && !filter(pkg.Path) {
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Module: mod, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// inspect walks every file of the pass's package in source order, invoking
+// fn on each node (ast.Inspect semantics: return false to prune).
+func (p *Pass) inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads the testdata mini-module once per test run.
+func loadFixture(t *testing.T) *Module {
+	t.Helper()
+	mod, err := LoadModule("testdata/src")
+	if err != nil {
+		t.Fatalf("LoadModule(testdata/src): %v", err)
+	}
+	if mod.Path != "fixture" {
+		t.Fatalf("fixture module path = %q, want %q", mod.Path, "fixture")
+	}
+	for _, pkg := range mod.Pkgs {
+		for _, te := range pkg.TypeErrors {
+			t.Errorf("fixture %s fails to type-check: %v", pkg.Path, te)
+		}
+	}
+	return mod
+}
+
+// wantMarkers extracts "// want: name1,name2" comments from the loaded
+// fixture files, keyed "filename:line:analyzer".
+func wantMarkers(mod *Module) map[string]bool {
+	want := map[string]bool{}
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "want:")
+					if !ok {
+						continue
+					}
+					pos := mod.Fset.Position(c.Pos())
+					for _, name := range strings.Split(rest, ",") {
+						key := fmt.Sprintf("%s:%d:%s", pos.Filename, pos.Line, strings.TrimSpace(name))
+						want[key] = true
+					}
+				}
+			}
+		}
+	}
+	return want
+}
+
+func diagKey(fset *token.FileSet, d Diagnostic) string {
+	return fmt.Sprintf("%s:%d:%s", d.Pos.Filename, d.Pos.Line, d.Analyzer)
+}
+
+// TestFixtureDiagnostics runs the full suite over the fixture module and
+// requires an exact match between diagnostics and // want: markers - every
+// marked line must fire and no unmarked line may.
+func TestFixtureDiagnostics(t *testing.T) {
+	mod := loadFixture(t)
+	diags := RunModule(mod, All(), nil)
+	want := wantMarkers(mod)
+
+	got := map[string]bool{}
+	for _, d := range diags {
+		key := diagKey(mod.Fset, d)
+		if got[key] {
+			t.Errorf("duplicate diagnostic %s: %s", key, d.Message)
+		}
+		got[key] = true
+		if !want[key] {
+			t.Errorf("unexpected diagnostic %s: %s", key, d.Message)
+		}
+	}
+	for key := range want {
+		if !got[key] {
+			t.Errorf("expected diagnostic did not fire: %s", key)
+		}
+	}
+}
+
+// TestEveryAnalyzerIsLive proves each analyzer in the suite by at least one
+// failing fixture, so a refactor cannot silently disable a rule.
+func TestEveryAnalyzerIsLive(t *testing.T) {
+	mod := loadFixture(t)
+	diags := RunModule(mod, All(), nil)
+	fired := map[string]int{}
+	for _, d := range diags {
+		fired[d.Analyzer]++
+	}
+	for _, a := range All() {
+		if fired[a.Name] == 0 {
+			t.Errorf("analyzer %s produced no diagnostics on the fixture module", a.Name)
+		}
+	}
+}
+
+// TestSuppressionDirective checks that //odylint:allow silences exactly the
+// named analyzer on the directive's line and the next. It locates each
+// directive in the fixture sources and asserts nothing fires there.
+func TestSuppressionDirective(t *testing.T) {
+	mod := loadFixture(t)
+	diags := RunModule(mod, All(), nil)
+
+	// Collect (file, line) positions covered by a directive.
+	covered := map[string]bool{}
+	ndirectives := 0
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if !strings.Contains(c.Text, "odylint:allow") {
+						continue
+					}
+					ndirectives++
+					pos := mod.Fset.Position(c.Pos())
+					covered[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = true
+					covered[fmt.Sprintf("%s:%d", pos.Filename, pos.Line+1)] = true
+				}
+			}
+		}
+	}
+	if ndirectives == 0 {
+		t.Fatal("fixture module contains no //odylint:allow directives to test")
+	}
+	for _, d := range diags {
+		if covered[fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)] {
+			t.Errorf("suppressed diagnostic fired: %s", d)
+		}
+	}
+}
+
+// TestPackageFilter checks that RunModule's filter restricts diagnostics to
+// the selected packages.
+func TestPackageFilter(t *testing.T) {
+	mod := loadFixture(t)
+	only := func(path string) bool { return path == "fixture/droppy" }
+	diags := RunModule(mod, All(), only)
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics for fixture/droppy")
+	}
+	for _, d := range diags {
+		if d.Analyzer != "droppederr" {
+			t.Errorf("unexpected analyzer %s in filtered run: %s", d.Analyzer, d)
+		}
+	}
+}

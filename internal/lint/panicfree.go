@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Panicfree flags panic calls in library code. A panic inside internal/
+// tears down whatever experiment happens to be running and, worse, can
+// fire differently between two runs of a supposedly deterministic
+// simulation, so library code returns errors and leaves process exits to
+// the cmd/ and examples/ binaries (which are exempt here).
+//
+// The simulation substrate does keep a small number of deliberate
+// invariant panics - scheduling an event before the current virtual time,
+// a non-positive ticker period - where continuing would corrupt causality
+// and there is no caller that could meaningfully handle an error. Each of
+// those carries an //odylint:allow panicfree justification; this analyzer
+// exists to make sure no panic gets added without one.
+var Panicfree = &Analyzer{
+	Name: "panicfree",
+	Doc:  "flag panic in non-cmd, non-example, non-test library code",
+	Run:  runPanicfree,
+}
+
+func runPanicfree(pass *Pass) {
+	path := pass.Pkg.Path
+	if rest, ok := strings.CutPrefix(path, pass.Module.Path); ok {
+		rest = strings.TrimPrefix(rest, "/")
+		if rest == "cmd" || strings.HasPrefix(rest, "cmd/") ||
+			rest == "examples" || strings.HasPrefix(rest, "examples/") {
+			return
+		}
+	}
+	pass.inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"panic in library package %s: return an error, or justify an invariant panic with //odylint:allow panicfree",
+			path)
+		return true
+	})
+}

@@ -1,0 +1,16 @@
+// Package badpanic exists to prove the panicfree analyzer fires on panic
+// in library code.
+package badpanic
+
+// MustPositive panics in library code: flagged.
+func MustPositive(x int) {
+	if x <= 0 {
+		panic("badpanic: not positive") // want: panicfree
+	}
+}
+
+// okAllowed carries a justification directive: suppressed.
+func okAllowed() {
+	//odylint:allow panicfree invariant panic for the fixture
+	panic("unreachable")
+}

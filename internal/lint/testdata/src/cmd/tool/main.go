@@ -1,0 +1,7 @@
+// Command tool proves that panicfree exempts cmd/ binaries.
+package main
+
+func main() {
+	defer func() { recover() }()
+	panic("cmd binaries may panic")
+}

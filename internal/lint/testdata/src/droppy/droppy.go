@@ -1,0 +1,31 @@
+// Package droppy exists to prove the droppederr analyzer fires on silently
+// discarded error returns.
+package droppy
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// Bad discards errors three different ways: all flagged.
+func Bad() {
+	fail()       // want: droppederr
+	go fail()    // want: droppederr
+	defer fail() // want: droppederr
+	pair()       // want: droppederr
+}
+
+// Ok discards explicitly or calls infallible writers: allowed.
+func Ok() {
+	_ = fail()
+	_, _ = pair()
+	var b strings.Builder
+	b.WriteString("x")
+	fmt.Fprintf(&b, "n=%d", 1)
+	fmt.Println(b.String())
+}

@@ -1,0 +1,42 @@
+// Package power exists to prove the floateq analyzer fires on exact
+// floating-point comparisons in energy-accounting code.
+package power
+
+// equalEnergy compares two energy integrals exactly: flagged.
+func equalEnergy(a, b float64) bool {
+	return a == b // want: floateq
+}
+
+// changed compares instantaneous power exactly: flagged.
+func changed(prev, cur float32) bool {
+	return prev != cur // want: floateq
+}
+
+// pick switches on a float, comparing each case exactly: flagged.
+func pick(w float64) string {
+	switch w { // want: floateq
+	case 0.5:
+		return "half"
+	default:
+		return "other"
+	}
+}
+
+const eps = 1e-9
+
+// okConst compares compile-time constants, which the compiler evaluates
+// exactly: allowed.
+func okConst() bool {
+	return eps == 1e-9
+}
+
+// okInts compares integers: allowed.
+func okInts(a, b int) bool {
+	return a == b
+}
+
+// allowedExact carries a justification directive: suppressed.
+func allowedExact(a, b float64) bool {
+	//odylint:allow floateq deliberate exact tie-break for the fixture
+	return a == b
+}

@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// badClock reads the wall clock from inside the simulation substrate.
+func badClock() time.Duration {
+	t0 := time.Now()      // want: detrand
+	return time.Since(t0) // want: detrand
+}
+
+// badRand consumes the shared global RNG.
+func badRand() int {
+	return rand.Intn(6) // want: detrand
+}
+
+// badEnv makes behaviour depend on the process environment.
+func badEnv() string {
+	return os.Getenv("ODYSSEY_DEBUG") // want: detrand
+}
+
+// okRand constructs an explicitly seeded private generator: allowed.
+func okRand() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// okVirtual uses time only for types and arithmetic: allowed.
+func okVirtual(d time.Duration) time.Duration {
+	return d + time.Second
+}

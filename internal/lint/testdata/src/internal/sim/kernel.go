@@ -1,0 +1,52 @@
+// Package sim is a miniature clone of the real kernel's handshake
+// structure, used to prove the kernelctx analyzer fires on raw channel
+// operations outside the blessed functions.
+package sim
+
+// Kernel mirrors the real kernel's yield channel.
+type Kernel struct {
+	yield chan struct{}
+}
+
+// Proc mirrors the real process's resume channel.
+type Proc struct {
+	k      *Kernel
+	resume chan struct{}
+}
+
+// transfer is blessed: raw handshake operations are legal here.
+func (k *Kernel) transfer(p *Proc) {
+	p.resume <- struct{}{}
+	<-k.yield
+}
+
+// park is blessed.
+func (p *Proc) park() {
+	p.k.yield <- struct{}{}
+	<-p.resume
+}
+
+// Spawn is blessed (the bootstrap hand-off).
+func (k *Kernel) Spawn(p *Proc) {
+	go func() {
+		p.park()
+	}()
+	k.transfer(p)
+}
+
+// sneakyWake bypasses the handshake protocol and must be flagged.
+func (k *Kernel) sneakyWake(p *Proc) {
+	p.resume <- struct{}{} // want: kernelctx
+	<-k.yield              // want: kernelctx
+	close(p.resume)        // want: kernelctx
+}
+
+// localChans uses unrelated variables that happen to share the names; the
+// analyzer must not fire on non-field channels.
+func localChans() {
+	yield := make(chan struct{})
+	resume := make(chan struct{})
+	go func() { yield <- struct{}{} }()
+	<-yield
+	close(resume)
+}

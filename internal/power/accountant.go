@@ -67,6 +67,7 @@ func NewAccountant(k *sim.Kernel) *Accountant {
 // integrating energy up to the current instant first.
 func (a *Accountant) SetComponent(name string, watts float64) {
 	if watts < 0 {
+		//odylint:allow panicfree negative draw corrupts every downstream integral; invariant guard
 		panic(fmt.Sprintf("power: component %q set to negative power %g", name, watts))
 	}
 	a.integrate()
@@ -131,10 +132,19 @@ func (a *Accountant) integrate() {
 	// the CPU, split by processor-sharing fraction.
 	if len(a.shares) == 0 {
 		a.byPrincipal[IdlePrincipal] += total * dt
-		return
+	} else {
+		for _, s := range a.shares {
+			a.byPrincipal[s.Principal] += total * dt * s.Fraction
+		}
 	}
-	for _, s := range a.shares {
-		a.byPrincipal[s.Principal] += total * dt * s.Fraction
+	a.checkInvariants()
+}
+
+// checkInvariants runs the odysseydebug cross-checks (no-op in default
+// builds; see debug_on.go / debug_off.go).
+func (a *Accountant) checkInvariants() {
+	if debugAssertions {
+		a.assertConsistent()
 	}
 }
 
@@ -177,8 +187,12 @@ func (a *Accountant) Principals() []string {
 		names = append(names, n)
 	}
 	sort.Slice(names, func(i, j int) bool {
-		if a.byPrincipal[names[i]] != a.byPrincipal[names[j]] {
-			return a.byPrincipal[names[i]] > a.byPrincipal[names[j]]
+		ei, ej := a.byPrincipal[names[i]], a.byPrincipal[names[j]]
+		if ei > ej {
+			return true
+		}
+		if ei < ej {
+			return false
 		}
 		return names[i] < names[j]
 	})

@@ -1,0 +1,12 @@
+//go:build !odysseydebug
+
+package power
+
+// debugAssertions reports whether the odysseydebug runtime invariant
+// checks are compiled in. In the default build the assertion hook below
+// compiles to nothing; build (or test) with -tags odysseydebug to enable
+// the cross-checks in debug_on.go.
+const debugAssertions = false
+
+// assertConsistent is a no-op without the odysseydebug tag.
+func (a *Accountant) assertConsistent() {}

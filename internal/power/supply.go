@@ -70,6 +70,7 @@ type Meter struct {
 // delivering samples to out. Call Start to begin sampling.
 func NewMeter(k *sim.Kernel, acct *Accountant, period, jitter time.Duration, out func(t time.Duration, watts float64)) *Meter {
 	if period <= 0 {
+		//odylint:allow panicfree constructor precondition; invariant guard
 		panic("power: meter period must be positive")
 	}
 	return &Meter{k: k, acct: acct, period: period, jitter: jitter, out: out}

@@ -50,8 +50,11 @@ func Diff(before, after *EnergyProfile) *ProfileDiff {
 		if dj < 0 {
 			dj = -dj
 		}
-		if di != dj {
-			return di > dj
+		if di > dj {
+			return true
+		}
+		if di < dj {
+			return false
 		}
 		return d.Rows[i].Path < d.Rows[j].Path
 	})

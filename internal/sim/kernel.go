@@ -108,6 +108,7 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // (before Now) panics: it would silently reorder causality.
 func (k *Kernel) At(t time.Duration, fn func()) *Event {
 	if t < k.now {
+		//odylint:allow panicfree scheduling into the past breaks causality; no caller can handle it
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
 	k.seq++
@@ -138,6 +139,7 @@ func (k *Kernel) OnIdle(fn func() bool) { k.idleHooks = append(k.idleHooks, fn) 
 // It returns the virtual time at exit.
 func (k *Kernel) Run(horizon time.Duration) time.Duration {
 	if k.running {
+		//odylint:allow panicfree re-entrant Run corrupts the handshake; invariant guard
 		panic("sim: Kernel.Run re-entered")
 	}
 	k.running = true
@@ -207,6 +209,39 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	k.After(0, func() { k.transfer(p) })
 	return p
 }
+
+// Concurrency and happens-before contract
+//
+// The kernel and its processes form a baton-passing system: at any instant
+// exactly one goroutine - either the kernel's Run loop or a single process
+// - executes simulation code. The baton is exchanged over two unbuffered
+// channels:
+//
+//	kernel -> process:  p.resume <- struct{}{}  (in transfer, bootstrapped by Spawn)
+//	process -> kernel:  k.yield <- struct{}{}   (in park, or on termination)
+//
+// Because both channels are unbuffered, every hand-off is a
+// synchronization point, giving two happens-before edges:
+//
+//  1. Everything the kernel did before transfer(p) happens-before
+//     everything p does after its park (or initial resume) returns.
+//  2. Everything p did before parking (or terminating) happens-before
+//     everything the kernel does after transfer returns.
+//
+// By induction over hand-offs, all simulation state - kernel fields, the
+// event heap, model state shared between processes - is totally ordered by
+// the baton. That is why none of it carries locks, why the race detector
+// stays quiet although processes run on distinct goroutines, and why a
+// run's schedule depends only on the seed, never on the Go scheduler.
+// The contract imposes two obligations:
+//
+//   - Only transfer, park, and Spawn may operate yield/resume (enforced by
+//     odylint's kernelctx analyzer). A raw send or receive anywhere else
+//     would let two goroutines hold the baton at once - a data race over
+//     every kernel structure - or deadlock both sides.
+//   - Processes must not communicate outside the baton (no extra channels,
+//     no sync primitives): such communication is invisible to the virtual
+//     clock and would re-introduce Go-scheduler dependence.
 
 // transfer hands control to p and blocks until p yields. Must be called from
 // kernel context (inside an event callback).
@@ -354,6 +389,7 @@ type Ticker struct {
 // Every returns a stopped ticker that, once started, invokes fn each period.
 func (k *Kernel) Every(period time.Duration, fn func()) *Ticker {
 	if period <= 0 {
+		//odylint:allow panicfree a zero period would loop the clock forever; invariant guard
 		panic(fmt.Sprintf("sim: ticker period must be positive, got %v", period))
 	}
 	return &Ticker{k: k, period: period, fn: fn}

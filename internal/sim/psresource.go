@@ -49,6 +49,7 @@ type PSResource struct {
 // in units per second of virtual time.
 func NewPSResource(k *Kernel, name string, capacity float64) *PSResource {
 	if capacity <= 0 {
+		//odylint:allow panicfree constructor precondition; invariant guard
 		panic(fmt.Sprintf("sim: PSResource %q capacity must be positive, got %g", name, capacity))
 	}
 	return &PSResource{k: k, name: name, capacity: capacity, lastUpdate: k.Now()}
@@ -63,6 +64,7 @@ func (r *PSResource) Capacity() float64 { return r.capacity }
 // SetCapacity changes the service rate, preserving work already done.
 func (r *PSResource) SetCapacity(c float64) {
 	if c <= 0 {
+		//odylint:allow panicfree zero capacity stalls every queued job; invariant guard
 		panic(fmt.Sprintf("sim: PSResource %q capacity must be positive, got %g", r.name, c))
 	}
 	r.advance()

@@ -78,6 +78,7 @@ type Battery struct {
 	lastSync    time.Duration // time of last sync
 	lastPower   float64       // average power over the last sync interval
 	lastRefresh time.Duration
+	cacheValid  bool
 	cacheI      float64
 	cacheCap    float64
 
@@ -152,9 +153,12 @@ func (b *Battery) effectiveDrain(watts float64) float64 {
 func (b *Battery) refresh() {
 	b.sync()
 	now := b.k.Now()
-	if b.cacheCap != 0 && now-b.lastRefresh < b.cfg.RefreshPeriod {
+	// An explicit flag, not a cacheCap==0 sentinel: a fully drained pack
+	// reads exactly 0 and must still be rate-limited.
+	if b.cacheValid && now-b.lastRefresh < b.cfg.RefreshPeriod {
 		return
 	}
+	b.cacheValid = true
 	b.lastRefresh = now
 
 	i := b.lastPower / b.cfg.Voltage

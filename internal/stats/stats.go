@@ -133,6 +133,7 @@ type LinearFit struct {
 // than two distinct x values are given.
 func FitLine(xs, ys []float64) LinearFit {
 	if len(xs) != len(ys) {
+		//odylint:allow panicfree mismatched series is a caller bug; invariant guard
 		panic(fmt.Sprintf("stats: FitLine length mismatch %d vs %d", len(xs), len(ys)))
 	}
 	n := float64(len(xs))
@@ -147,6 +148,7 @@ func FitLine(xs, ys []float64) LinearFit {
 		sxy += dx * dy
 		syy += dy * dy
 	}
+	//odylint:allow floateq exact zero iff all x values identical; degenerate-fit guard
 	if sxx == 0 {
 		return LinearFit{Intercept: my}
 	}
@@ -171,6 +173,7 @@ func (f LinearFit) At(x float64) float64 { return f.Intercept + f.Slope*x }
 
 // Ratio returns num/den, or 0 when den is 0 (used for normalized tables).
 func Ratio(num, den float64) float64 {
+	//odylint:allow floateq guard against exact division by zero
 	if den == 0 {
 		return 0
 	}
@@ -182,6 +185,7 @@ func Ratio(num, den float64) float64 {
 // Figure 16. The slices must have equal length.
 func NormalizeRange(xs, base []float64) (lo, hi float64) {
 	if len(xs) != len(base) {
+		//odylint:allow panicfree mismatched series is a caller bug; invariant guard
 		panic(fmt.Sprintf("stats: NormalizeRange length mismatch %d vs %d", len(xs), len(base)))
 	}
 	ratios := make([]float64, 0, len(xs))

@@ -47,6 +47,7 @@ func (p *Plot) Add(s Series) {
 		s.Marker = markers[len(p.series)%len(markers)]
 	}
 	if len(s.X) != len(s.Y) {
+		//odylint:allow panicfree mismatched series is a caller bug; invariant guard
 		panic(fmt.Sprintf("textplot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y)))
 	}
 	p.series = append(p.series, s)
@@ -67,9 +68,11 @@ func (p *Plot) bounds() (xmin, xmax, ymin, ymax float64, ok bool) {
 	if math.IsInf(xmin, 1) {
 		return 0, 0, 0, 0, false
 	}
+	//odylint:allow floateq degenerate-range guard; any nonzero spread is fine
 	if xmax == xmin {
 		xmax = xmin + 1
 	}
+	//odylint:allow floateq degenerate-range guard; any nonzero spread is fine
 	if ymax == ymin {
 		ymax = ymin + 1
 	}

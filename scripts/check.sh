@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# check.sh - the repo's standing verification gate, mirrored by CI
+# (.github/workflows/ci.yml). Run it from anywhere inside the module.
+#
+#   scripts/check.sh         full suite
+#   scripts/check.sh fast    skip the -race run (quick pre-commit loop)
+#
+# Gates, in order:
+#   1. go build ./...                      everything compiles
+#   2. go vet ./...                        stock static analysis
+#   3. go run ./cmd/odylint ./...          domain-specific invariants
+#                                          (determinism, float equality,
+#                                          kernel handshake, panics, errors)
+#   4. go test ./...                       tier-1 tests
+#   5. go test -race ./...                 data-race gate over the full module
+#   6. go test -tags odysseydebug ...      energy-conservation runtime
+#                                          assertions cross-checking the
+#                                          exact integrator
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> odylint ./..."
+go run ./cmd/odylint ./...
+
+echo "==> go test ./..."
+go test ./...
+
+if [ "${1:-}" != "fast" ]; then
+    echo "==> go test -race ./..."
+    go test -race ./...
+fi
+
+echo "==> go test -tags odysseydebug (power, hw, experiment, integration)"
+go test -tags odysseydebug ./internal/power/... ./internal/hw/... ./internal/experiment/... ./internal/integration/...
+
+echo "ALL CHECKS PASSED"
