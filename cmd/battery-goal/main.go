@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	battery-goal -joules 22650 -goal 24m [-trace trace.csv]
+//	battery-goal -joules 22650 -goal 24m [-faults mid] [-trace trace.csv]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 
 	"odyssey/internal/experiment"
 	"odyssey/internal/textplot"
+	"odyssey/internal/trace"
 )
 
 func main() {
@@ -27,7 +28,15 @@ func main() {
 	bursty := flag.Bool("bursty", false, "use the stochastic bursty workload")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	traceFile := flag.String("trace", "", "write the supply/demand/fidelity trace as CSV")
+	faultsArg := flag.String("faults", "none", "fault plan severity: none, mild, mid, severe")
 	flag.Parse()
+
+	planBuilder, ok := experiment.ResiliencePlanByName(*faultsArg)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown fault severity %q; known: %s\n",
+			*faultsArg, strings.Join(experiment.ResilienceSeverities, " "))
+		os.Exit(2)
+	}
 
 	if *goal == 0 {
 		hi := experiment.RuntimeAtFixedFidelity(*seed, *joules, false)
@@ -46,6 +55,8 @@ func main() {
 		Goal:          *goal,
 		Bursty:        *bursty,
 		RecordTrace:   true,
+		Faults:        planBuilder,
+		RecordEvents:  true,
 	})
 	status := "MET"
 	if !r.Met {
@@ -53,6 +64,12 @@ func main() {
 	}
 	fmt.Printf("Goal %v: %s (ran %v, residual %.0f J = %.1f%% of supply)\n",
 		*goal, status, r.EndTime.Round(1e9), r.Residual, r.Residual / *joules * 100)
+	if *faultsArg != "none" {
+		fmt.Printf("Fault plan %q: %d events; retries %d (%.0f J, %.0f KB), deadline aborts %d\n",
+			*faultsArg, r.FaultEvents, r.RetryAttempts, r.RetryEnergy, r.RetryBytes/1e3, r.DeadlineAborts)
+		fmt.Printf("Graceful degradation: speech fallbacks %d, web bypasses %d, cache hits %d, video chunks lost %d, missed power samples %d\n",
+			r.Fallbacks, r.Bypasses, r.CacheHits, r.ChunksLost, r.MissedSamples)
+	}
 	if len(r.Trace) > 1 {
 		chart := textplot.New("Supply and predicted demand", 64, 12)
 		chart.XLabel = "seconds"
@@ -74,6 +91,25 @@ func main() {
 	sort.Strings(names)
 	for _, n := range names {
 		fmt.Printf("  %-8s %d\n", n, r.Adaptations[n])
+	}
+
+	if *faultsArg != "none" && r.Events != nil {
+		fmt.Println("Timeline (fault events alongside adaptation and monitor decisions):")
+		shown, total := 0, 0
+		const maxLines = 60
+		for _, e := range r.Events.Events() {
+			if e.Category != trace.CatFault && e.Category != trace.CatAdapt && e.Category != trace.CatMonitor {
+				continue
+			}
+			total++
+			if shown < maxLines {
+				fmt.Println("  " + e.String())
+				shown++
+			}
+		}
+		if total > shown {
+			fmt.Printf("  (%d more events)\n", total-shown)
+		}
 	}
 
 	if *traceFile != "" {

@@ -25,15 +25,51 @@ import (
 	"odyssey/internal/textplot"
 )
 
+// figures lists every known figure id with a one-line description (-list).
+var figures = []struct{ id, desc string }{
+	{"fig2", "PowerScope energy profile of 30 s of video playback"},
+	{"fig4", "total energy by hardware component (idle states)"},
+	{"fig6", "video playback energy vs fidelity (4 clips x 5 bars)"},
+	{"fig8", "speech recognition energy vs fidelity and execution mode"},
+	{"fig10", "map viewing energy vs fidelity (distillation and cropping)"},
+	{"fig11", "effect of user think time for map viewing (San Jose)"},
+	{"fig13", "Web browsing energy vs distillation fidelity (4 images)"},
+	{"fig14", "effect of user think time for Web browsing (Image 1)"},
+	{"fig15", "effect of concurrent applications (composite +/- video)"},
+	{"fig16", "summary: energy impact of fidelity reduction per app"},
+	{"fig18", "zoned backlight projections (4- and 8-zone displays)"},
+	{"fig19", "goal-directed adaptation traces (20- and 26-minute goals)"},
+	{"fig20", "summary of goal-directed adaptation (goals 20-26 min)"},
+	{"fig21", "sensitivity to smoothing half-life (26-minute goal)"},
+	{"fig22", "longer-duration goals with bursty workloads (goal revision)"},
+	{"ablations", "design-choice ablations of the goal-directed engine"},
+	{"measurement", "multimeter vs SmartBattery measurement paths"},
+	{"dvs", "dynamic voltage scaling composed with fidelity adaptation"},
+	{"quality", "speech energy vs recognition quality"},
+	{"policy", "centralized viceroy vs decentralized per-app adaptation"},
+	{"resilience", "battery goals under escalating network/server fault plans"},
+	{"check", "validation scorecard (exits nonzero on failures)"},
+}
+
 func main() {
 	figure := flag.String("figure", "all", "figure id to regenerate (fig2..fig22, or 'all')")
 	trials := flag.Int("trials", 5, "trials per measurement")
 	breakdown := flag.Bool("breakdown", false, "also print per-software-component breakdowns")
 	csvOut := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	list := flag.Bool("list", false, "list known figure ids with descriptions and exit")
 	flag.Parse()
 	emitCSV = *csvOut
 
-	ids := []string{"fig2", "fig4", "fig6", "fig8", "fig10", "fig11", "fig13", "fig14", "fig15", "fig16", "fig18", "fig19", "fig20", "fig21", "fig22", "ablations", "measurement", "dvs", "quality", "policy", "check"}
+	ids := make([]string, 0, len(figures))
+	for _, f := range figures {
+		ids = append(ids, f.id)
+	}
+	if *list {
+		for _, f := range figures {
+			fmt.Printf("  %-12s %s\n", f.id, f.desc)
+		}
+		return
+	}
 	want := strings.Split(*figure, ",")
 	if *figure == "all" {
 		want = ids
@@ -44,7 +80,7 @@ func main() {
 	}
 	for _, id := range want {
 		if !known[id] {
-			fmt.Fprintf(os.Stderr, "unknown figure %q; known: %s\n", id, strings.Join(ids, " "))
+			fmt.Fprintf(os.Stderr, "unknown figure %q; known: %s (try -list)\n", id, strings.Join(ids, " "))
 			os.Exit(2)
 		}
 	}
@@ -114,6 +150,8 @@ func run(id string, trials int, breakdown bool) {
 		render(experiment.QualityTable(experiment.QualityEnergy(min(trials, 3))))
 	case "policy":
 		render(experiment.PolicyTable(experiment.DecentralizedComparison(min(trials, 3))))
+	case "resilience":
+		render(experiment.ResilienceTable(experiment.FigureResilience(min(trials, 3))))
 	case "check":
 		rs := experiment.Validate(min(trials, 3))
 		render(experiment.ValidationTable(rs))

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"odyssey/internal/app/env"
+	"odyssey/internal/netsim"
 	"odyssey/internal/odfs"
 	"odyssey/internal/sim"
 )
@@ -153,9 +154,29 @@ func vocabFactor(u Utterance, v Vocab) float64 {
 	return 1.0
 }
 
+// Outcome reports where a recognition actually executed. FellBack is set
+// when a remote or hybrid strategy lost its server and the recognition
+// completed locally instead of hanging.
+type Outcome struct {
+	Mode     Mode
+	FellBack bool
+}
+
+// speechOpts bounds a recognition RPC: the deadline scales with the server
+// effort (long utterances legitimately take seconds), and one retry is
+// allowed before giving up on the server.
+func speechOpts(serverTime time.Duration) netsim.CallOptions {
+	return netsim.CallOptions{
+		Timeout:  2*serverTime + 10*time.Second,
+		Attempts: 2,
+	}
+}
+
 // Recognize runs one utterance through the recognizer under cfg, blocking p
-// until the result is available.
-func Recognize(rig *env.Rig, p *sim.Proc, u Utterance, cfg Config) {
+// until the result is available. If a remote or hybrid RPC fails (dead
+// link, crashed Janus server, deadline), recognition falls back to the
+// local engine — degraded energy efficiency, but never a hang.
+func Recognize(rig *env.Rig, p *sim.Proc, u Utterance, cfg Config) Outcome {
 	rig.M.CPU.RunAsync(PrincipalOdyssey, odysseyCPUPerOp, nil)
 	// Front-end: waveform generation and feature extraction, always local.
 	rig.M.CPU.Run(p, PrincipalFrontEnd, frontEndCPUPerSec*u.Length.Seconds())
@@ -166,14 +187,27 @@ func Recognize(rig *env.Rig, p *sim.Proc, u Utterance, cfg Config) {
 		rig.M.CPU.Run(p, PrincipalJanus, effort)
 	case Remote:
 		bytes := waveformBytesPerSec * u.Length.Seconds()
-		rig.Net.RPC(p, PrincipalJanus, bytes,
-			rig.JanusServer, time.Duration(effort*float64(time.Second)), rpcOverheadBytes)
+		serverTime := time.Duration(effort * float64(time.Second))
+		err := rig.Net.TryRPC(p, PrincipalJanus, bytes,
+			rig.JanusServer, serverTime, rpcOverheadBytes, speechOpts(serverTime))
+		if err != nil {
+			rig.M.CPU.Run(p, PrincipalJanus, effort)
+			return Outcome{Mode: Local, FellBack: true}
+		}
 	case Hybrid:
 		rig.M.CPU.Run(p, PrincipalJanus, hybridPhase1CPUPerSec*u.Length.Seconds())
 		bytes := hybridBytesPerSec * u.Length.Seconds()
-		rig.Net.RPC(p, PrincipalJanus, bytes,
-			rig.JanusServer, time.Duration(effort*hybridServerFactor*float64(time.Second)), rpcOverheadBytes)
+		serverTime := time.Duration(effort * hybridServerFactor * float64(time.Second))
+		err := rig.Net.TryRPC(p, PrincipalJanus, bytes,
+			rig.JanusServer, serverTime, rpcOverheadBytes, speechOpts(serverTime))
+		if err != nil {
+			// The phase-1 intermediate is useless without the server;
+			// redo the recognition with the local engine.
+			rig.M.CPU.Run(p, PrincipalJanus, effort)
+			return Outcome{Mode: Local, FellBack: true}
+		}
 	}
+	return Outcome{Mode: cfg.Mode}
 }
 
 // Recognizer is the adaptive speech application: two fidelity levels
@@ -191,6 +225,9 @@ type Recognizer struct {
 	AdaptMode bool
 	// Warden mediates model selection for the speech data type.
 	Warden Warden
+	// Fallbacks counts recognitions that lost their server and completed
+	// locally.
+	Fallbacks int
 }
 
 // NewRecognizer returns a full-fidelity local recognizer.
@@ -234,13 +271,18 @@ func (r *Recognizer) Vocab() Vocab {
 	return FullVocab
 }
 
-// Recognize runs one utterance at the current fidelity and mode.
-func (r *Recognizer) Recognize(p *sim.Proc, u Utterance) {
+// Recognize runs one utterance at the current fidelity and mode, reporting
+// where it actually executed.
+func (r *Recognizer) Recognize(p *sim.Proc, u Utterance) Outcome {
 	mode := r.Mode
 	if r.AdaptMode && r.level == 0 {
 		mode = Hybrid
 	}
-	Recognize(r.rig, p, u, Config{Mode: mode, Vocab: r.Vocab()})
+	out := Recognize(r.rig, p, u, Config{Mode: mode, Vocab: r.Vocab()})
+	if out.FellBack {
+		r.Fallbacks++
+	}
+	return out
 }
 
 // Warden is the speech warden: it encapsulates language/acoustic model

@@ -19,6 +19,7 @@ import (
 
 	"odyssey/internal/app/env"
 	"odyssey/internal/hw"
+	"odyssey/internal/netsim"
 	"odyssey/internal/odfs"
 	"odyssey/internal/sim"
 )
@@ -47,6 +48,9 @@ const (
 	chunk = time.Second
 	// prefetchDepth bounds how far the fetcher runs ahead.
 	prefetchDepth = 3
+	// chunkDeadline bounds how long the fetcher waits for one chunk when
+	// the failure plane is armed before declaring it lost and rebuffering.
+	chunkDeadline = 6 * chunk
 	// FramesPerSecond is the clip frame rate (Cinepak clips of the era).
 	FramesPerSecond = 20
 )
@@ -121,6 +125,8 @@ type Player struct {
 
 	// Warden is the video warden mediating track selection.
 	Warden Warden
+	// Totals accumulates playback quality across every clip played.
+	Totals PlaybackStats
 }
 
 // NewPlayer returns a player at full fidelity, registered with the rig's
@@ -219,7 +225,9 @@ func (pl *Player) adaptToBandwidth(avail float64) {
 // Play streams and displays clip at the player's (possibly changing)
 // fidelity, blocking p until playback completes.
 func (pl *Player) Play(p *sim.Proc, clip Clip) PlaybackStats {
-	return PlayTrack(pl.rig, p, clip, func() Track { return pl.Track() })
+	stats := PlayTrack(pl.rig, p, clip, func() Track { return pl.Track() })
+	pl.Totals.add(stats)
+	return stats
 }
 
 // PlaybackStats reports playback quality: when the stream cannot keep up
@@ -233,6 +241,17 @@ type PlaybackStats struct {
 	FramesDropped int
 	// Stall is the total time playback ran behind its clock.
 	Stall time.Duration
+	// ChunksLost counts chunks the fetcher abandoned (dead link, timeout);
+	// their frames are dropped wholesale and playback rebuffers.
+	ChunksLost int
+}
+
+// add accumulates other into s.
+func (s *PlaybackStats) add(other PlaybackStats) {
+	s.FramesShown += other.FramesShown
+	s.FramesDropped += other.FramesDropped
+	s.Stall += other.Stall
+	s.ChunksLost += other.ChunksLost
 }
 
 // DropRate returns the fraction of frames dropped.
@@ -250,8 +269,9 @@ func (s PlaybackStats) DropRate() float64 {
 func PlayTrack(rig *env.Rig, p *sim.Proc, clip Clip, trackOf func() Track) PlaybackStats {
 	k := rig.K
 	type piece struct {
-		dur time.Duration
-		trk Track
+		dur  time.Duration
+		trk  Track
+		lost bool
 	}
 	nChunks := int((clip.Length + chunk - 1) / chunk)
 	q := sim.NewQueue[piece](k)
@@ -272,8 +292,9 @@ func PlayTrack(rig *env.Rig, p *sim.Proc, clip Clip, trackOf func() Track) Playb
 			// around the track's nominal rate.
 			vbr := 1 + 0.08*(2*k.Rand().Float64()-1)
 			bytes := BaseBytesPerSec * trk.RateFactor * d.Seconds() * vbr
-			rig.Net.BulkTransfer(fp, PrincipalXanim, bytes)
-			q.Put(piece{dur: d, trk: trk})
+			err := rig.Net.TryBulkTransfer(fp, PrincipalXanim, bytes,
+				netsim.CallOptions{Timeout: chunkDeadline, Attempts: 2})
+			q.Put(piece{dur: d, trk: trk, lost: err != nil})
 		}
 	})
 
@@ -284,6 +305,15 @@ func PlayTrack(rig *env.Rig, p *sim.Proc, clip Clip, trackOf func() Track) Playb
 	for i := 0; i < nChunks; i++ {
 		pc := q.Get(p)
 		space.WakeOne()
+		if pc.lost {
+			// The chunk never arrived: its frames are gone wholesale and
+			// playback rebuffers — the clock restarts at the next chunk.
+			stats.FramesDropped += int(pc.dur / framePeriod)
+			stats.ChunksLost++
+			elapsed += pc.dur
+			start = k.Now() - elapsed
+			continue
+		}
 		rig.IlluminateWindow(pc.trk.Window)
 		rig.M.CPU.RunAsync(PrincipalOdyssey, odysseyCPUPerSec*pc.dur.Seconds(), nil)
 		rig.M.CPU.Run(p, PrincipalXanim, decodeCPUPerSec*pc.trk.DecodeFactor*pc.dur.Seconds())

@@ -15,6 +15,7 @@ import (
 
 	"odyssey/internal/app/env"
 	"odyssey/internal/hw"
+	"odyssey/internal/netsim"
 	"odyssey/internal/odfs"
 	"odyssey/internal/sim"
 )
@@ -51,6 +52,9 @@ const (
 	// minImageBytes floors the distilled size: headers and tiny images
 	// do not shrink.
 	minImageBytes = 110.0
+	// originTime is the origin server's response time when the proxy is
+	// bypassed and the image is fetched undistilled.
+	originTime = 100 * time.Millisecond
 )
 
 // netscapeWindow: Netscape was almost full-screen at all fidelities in the
@@ -131,9 +135,24 @@ func DeliveredBytes(img Image, q Quality) float64 {
 	return b
 }
 
+// FetchOutcome reports how a page was actually retrieved.
+type FetchOutcome struct {
+	// Bytes is what was delivered (larger than requested when the proxy
+	// was bypassed and the original came down instead).
+	Bytes float64
+	// Bypassed: the distillation proxy was unreachable; the original
+	// image was fetched full-fidelity from the origin.
+	Bypassed bool
+	// Cached: the network was unusable; a previously fetched copy was
+	// displayed without any transfer.
+	Cached bool
+}
+
 // Fetch retrieves and displays img at quality q, then holds it on screen
-// for the user's think time.
-func Fetch(rig *env.Rig, p *sim.Proc, img Image, q Quality, think time.Duration) {
+// for the user's think time. If the distillation proxy fails, the fetch
+// bypasses it (full-fidelity origin fetch); if the network itself is
+// unusable, a cached copy is displayed.
+func Fetch(rig *env.Rig, p *sim.Proc, img Image, q Quality, think time.Duration) FetchOutcome {
 	rig.IlluminateWindow(netscapeWindow)
 	rig.M.CPU.RunAsync(PrincipalOdyssey, odysseyCPUPerOp, nil)
 	rig.M.CPU.Run(p, PrincipalProxy, proxyCPU)
@@ -145,14 +164,30 @@ func Fetch(rig *env.Rig, p *sim.Proc, img Image, q Quality, think time.Duration)
 		mbOrig := img.GIFBytes / 1e6
 		serverTime = distillBase + time.Duration(mbOrig*distillPerMB.Seconds()*float64(time.Second))
 	}
-	bytes := DeliveredBytes(img, q)
-	rig.Net.RPC(p, PrincipalProxy, requestBytes, rig.WebServer, serverTime, bytes)
+	out := FetchOutcome{Bytes: DeliveredBytes(img, q)}
+	err := rig.Net.TryRPC(p, PrincipalProxy, requestBytes, rig.WebServer, serverTime, out.Bytes,
+		netsim.CallOptions{Attempts: 2})
+	if err != nil {
+		// Distillation is an optimization, not a dependency: bypass the
+		// proxy and fetch the original from the origin server.
+		out.Bytes = img.GIFBytes
+		out.Bypassed = true
+		err = rig.Net.TryRPC(p, PrincipalProxy, requestBytes, nil, originTime, out.Bytes,
+			netsim.CallOptions{Attempts: 2})
+	}
+	if err != nil {
+		// The link itself is unusable; show the cached copy.
+		out.Bytes = DeliveredBytes(img, q)
+		out.Bypassed = false
+		out.Cached = true
+	}
 
-	mb := bytes / 1e6
+	mb := out.Bytes / 1e6
 	rig.M.CPU.Run(p, PrincipalNetscape, layoutCPU+decodeCPUPerMB*mb)
 	rig.M.CPU.Run(p, PrincipalX, xCPUBase+xCPUPerMB*mb)
 
 	rig.Think(p, think)
+	return out
 }
 
 // Browser is the adaptive Web application: five fidelity levels from JPEG-5
@@ -164,6 +199,10 @@ type Browser struct {
 	ThinkTime time.Duration
 	// Warden mediates distillation requests for the Web image type.
 	Warden Warden
+	// Bypasses and CacheHits count fetches that could not use the
+	// distillation proxy.
+	Bypasses  int
+	CacheHits int
 }
 
 var browserLevels = []Quality{JPEG5, JPEG25, JPEG50, JPEG75, FullFidelity}
@@ -206,9 +245,17 @@ func (b *Browser) SetLevel(l int) {
 // Quality returns the distillation quality for the current level.
 func (b *Browser) Quality() Quality { return browserLevels[b.level] }
 
-// Fetch retrieves and displays img at the current fidelity.
-func (b *Browser) Fetch(p *sim.Proc, img Image) {
-	Fetch(b.rig, p, img, b.Quality(), b.ThinkTime)
+// Fetch retrieves and displays img at the current fidelity, reporting how
+// the page was actually retrieved.
+func (b *Browser) Fetch(p *sim.Proc, img Image) FetchOutcome {
+	out := Fetch(b.rig, p, img, b.Quality(), b.ThinkTime)
+	if out.Bypassed {
+		b.Bypasses++
+	}
+	if out.Cached {
+		b.CacheHits++
+	}
+	return out
 }
 
 // Warden is the Web warden: it encapsulates distillation-request annotation

@@ -143,7 +143,15 @@ type EnergyMonitor struct {
 
 	degrades int
 	upgrades int
+
+	missedSamples int // readings <= 0 (e.g. SmartBattery dropouts)
+	staleRun      int // consecutive missed readings
 }
+
+// staleStreak is how many consecutive missed power readings it takes before
+// the monitor logs that its energy view has gone stale (a SmartBattery
+// dropout leaves it adapting on old data).
+const staleStreak = 5
 
 // NewEnergyMonitor attaches goal-directed energy adaptation to v, drawing
 // residual-energy readings from supply and power readings from acct (the
@@ -206,6 +214,10 @@ func (em *EnergyMonitor) Degrades() int { return em.degrades }
 // Upgrades reports the number of fidelity-improvement upcalls issued.
 func (em *EnergyMonitor) Upgrades() int { return em.upgrades }
 
+// MissedSamples reports power readings that came back non-positive (the
+// sampling loop skips them; sustained runs are logged as stale).
+func (em *EnergyMonitor) MissedSamples() int { return em.missedSamples }
+
 // SmoothedPower returns the current smoothed power estimate in watts.
 func (em *EnergyMonitor) SmoothedPower() float64 { return em.smoothed }
 
@@ -263,8 +275,14 @@ func (em *EnergyMonitor) alpha() float64 {
 func (em *EnergyMonitor) takeSample() {
 	sample := em.src.SamplePower()
 	if sample <= 0 {
+		em.missedSamples++
+		em.staleRun++
+		if em.staleRun == staleStreak && em.Events != nil {
+			em.Events.Add(trace.CatMonitor, "odyssey", "energy readings stale", float64(em.staleRun))
+		}
 		return
 	}
+	em.staleRun = 0
 	if !em.haveSample {
 		em.smoothed = sample
 		em.haveSample = true

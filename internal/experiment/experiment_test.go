@@ -534,8 +534,8 @@ func TestValidationScorecard(t *testing.T) {
 		t.Skip("full scorecard is expensive")
 	}
 	rs := Validate(1)
-	if len(rs) != 24 {
-		t.Fatalf("%d checks, want 24", len(rs))
+	if len(rs) != 27 {
+		t.Fatalf("%d checks, want 27", len(rs))
 	}
 	for _, r := range rs {
 		if !r.Pass {

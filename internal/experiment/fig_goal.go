@@ -6,9 +6,12 @@ import (
 
 	"odyssey/internal/app/env"
 	"odyssey/internal/core"
+	"odyssey/internal/faults"
+	"odyssey/internal/netsim"
 	"odyssey/internal/power"
 	"odyssey/internal/smartbattery"
 	"odyssey/internal/stats"
+	"odyssey/internal/trace"
 	"odyssey/internal/workload"
 )
 
@@ -61,6 +64,13 @@ type GoalOptions struct {
 	DisableAdaptation bool
 	// FixedLowest, with DisableAdaptation, pins the lowest fidelity.
 	FixedLowest bool
+	// Faults, if set, builds a fault plan against the trial's rig (bat is
+	// nil unless SmartBattery is on). The plan starts with the workload
+	// and is stopped when the run finishes.
+	Faults func(rig *env.Rig, bat *smartbattery.Battery, seed int64) *faults.Plan
+	// RecordEvents attaches a trace log (adaptations, monitor decisions,
+	// fault events) returned in GoalResult.Events.
+	RecordEvents bool
 }
 
 // GoalResult is the outcome of one goal-directed run.
@@ -75,6 +85,21 @@ type GoalResult struct {
 	// 1 = highest) per application — the paper's secondary goal is to
 	// "provide as high a fidelity as possible at all times".
 	MeanFidelity map[string]float64
+
+	// Resilience observables (zero in fault-free runs).
+	RetryEnergy    float64 // joules attributed to the net-retry principal
+	RetryAttempts  int
+	RetryBytes     float64
+	DeadlineAborts int
+	Fallbacks      int // speech recognitions completed locally after RPC failure
+	Bypasses       int // web fetches that bypassed the distillation proxy
+	CacheHits      int // web fetches served from cache (network unusable)
+	ChunksLost     int // video chunks abandoned to rebuffering
+	MissedSamples  int // power readings the monitor had to skip
+	FaultEvents    int
+	FaultCounts    map[string]int
+	// Events is the run's trace log when RecordEvents was set.
+	Events *trace.Log
 }
 
 // fidelityAverager accumulates time-weighted fidelity levels.
@@ -146,13 +171,14 @@ func RunGoal(opt GoalOptions) GoalResult {
 		em       *core.EnergyMonitor
 		residual func() float64
 		depleted func() bool
+		bat      *smartbattery.Battery
 	)
 	if opt.SmartBattery {
 		bcfg := smartbattery.DefaultConfig()
 		if opt.Peukert > 0 {
 			bcfg.PeukertExponent = opt.Peukert
 		}
-		bat := smartbattery.New(rig.K, rig.M.Acct, bcfg, opt.InitialEnergy)
+		bat = smartbattery.New(rig.K, rig.M.Acct, bcfg, opt.InitialEnergy)
 		bat.SetPolling(true)
 		em = core.NewEnergyMonitorSource(rig.V, smartbattery.Source{B: bat}, cfg)
 		residual = bat.TrueResidual
@@ -166,6 +192,17 @@ func RunGoal(opt GoalOptions) GoalResult {
 	em.SetGoal(opt.Goal)
 
 	res := GoalResult{Goal: opt.Goal, Adaptations: make(map[string]int)}
+	if opt.RecordEvents {
+		res.Events = trace.NewLog(rig.K.Now, 0)
+		em.Events = res.Events
+	}
+	var plan *faults.Plan
+	if opt.Faults != nil {
+		if plan = opt.Faults(rig, bat, opt.Seed); plan != nil {
+			plan.Log = res.Events
+			plan.Start()
+		}
+	}
 	avg := newFidelityAverager(regs)
 	em.Trace = func(tp core.TracePoint) {
 		avg.observe(tp.Time)
@@ -194,6 +231,9 @@ func RunGoal(opt GoalOptions) GoalResult {
 		res.Met = met
 		res.Residual = residual()
 		res.EndTime = rig.K.Now()
+		if plan != nil {
+			plan.Stop()
+		}
 		em.Stop()
 		rig.K.Stop()
 	}
@@ -230,6 +270,19 @@ func RunGoal(opt GoalOptions) GoalResult {
 	res.MeanFidelity = avg.means()
 	for _, r := range regs {
 		res.Adaptations[r.App.Name()] = r.Adaptations
+	}
+	res.RetryEnergy = rig.M.Acct.EnergyByPrincipal()[netsim.PrincipalRetry]
+	res.RetryAttempts = rig.Net.RetryAttempts()
+	res.RetryBytes = rig.Net.RetryBytes()
+	res.DeadlineAborts = rig.Net.DeadlineAborts()
+	res.Fallbacks = apps.Speech.Fallbacks
+	res.Bypasses = apps.Web.Bypasses
+	res.CacheHits = apps.Web.CacheHits
+	res.ChunksLost = apps.Video.Totals.ChunksLost
+	res.MissedSamples = em.MissedSamples()
+	if plan != nil {
+		res.FaultEvents = plan.TotalEvents()
+		_, res.FaultCounts = plan.Counts()
 	}
 	return res
 }

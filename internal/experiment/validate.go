@@ -123,6 +123,29 @@ func Validate(trials int) []ValidationResult {
 	}
 	add(check("fig22-met", "bursty longer-duration goals met", 1.0, 1.0, bmet, bmet, 0, ""))
 
+	// Resilience: not a paper claim but this repo's acceptance bar for the
+	// fault-injection plane — the Fig-19 26-minute goal must survive the
+	// mid-severity plan (outages < 10% of wall time, crash windows <= 60 s)
+	// with low residue, and the waste must be visible as retry energy.
+	rn := min(trials, 3)
+	rmet, rworst, rretry := 0.0, 0.0, 0.0
+	for t := 0; t < rn; t++ {
+		r := RunResilienceTrial("mid", int64(2562+t))
+		if r.Met {
+			rmet += 1 / float64(rn)
+		}
+		if f := r.Residual / Figure20InitialEnergy; f > rworst {
+			rworst = f
+		}
+		rretry += r.RetryEnergy / float64(rn)
+	}
+	add(check("resilience-met", "26-min goal met under mid-severity faults", 1.0, 1.0,
+		rmet, rmet, 0, "outages <10% wall time, crashes <=60s"))
+	add(check("resilience-residual", "worst residual fraction under mid faults", 0.0, 0.02,
+		rworst, rworst, 0, ""))
+	add(check("resilience-retry", "mean retry energy attributed (J, nonzero)", 1, 1e9,
+		rretry, rretry, 0, "net-retry principal in PowerScope"))
+
 	return out
 }
 

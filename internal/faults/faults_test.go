@@ -1,0 +1,203 @@
+package faults_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"odyssey/internal/faults"
+	"odyssey/internal/hw"
+	"odyssey/internal/netsim"
+	"odyssey/internal/sim"
+	"odyssey/internal/smartbattery"
+	"odyssey/internal/trace"
+)
+
+func newRig(seed int64) (*hw.Machine, *netsim.Network) {
+	m := hw.NewMachine(sim.NewKernel(seed), hw.ThinkPad560X(), 1)
+	return m, netsim.New(m)
+}
+
+// TestPlanArmsResilienceAndTogglesLink: the outage injector arms the
+// resilient layer, takes the carrier up and down on the plan's own RNG, and
+// logs every transition under trace.CatFault.
+func TestPlanArmsResilienceAndTogglesLink(t *testing.T) {
+	m, n := newRig(1)
+	if n.Resilient() {
+		t.Fatal("network resilient before any plan attached")
+	}
+	pl := faults.NewPlan(m.K, "test", 42)
+	pl.Log = trace.NewLog(m.K.Now, 0)
+	out := &faults.LinkOutage{Net: n, MeanUp: 30 * time.Second, MeanDown: 10 * time.Second, MaxDown: 20 * time.Second}
+	pl.Add(out)
+	pl.Start()
+	if !n.Resilient() {
+		t.Fatal("outage injector did not arm the resilient layer")
+	}
+	m.K.At(10*time.Minute, func() { m.K.Stop() })
+	m.K.Run(0)
+	if out.Outages() == 0 {
+		t.Fatal("no outages in 10 minutes of 30 s mean uptime")
+	}
+	if out.DownTime() <= 0 || out.DownTime() > 5*time.Minute {
+		t.Fatalf("accumulated downtime %v implausible for ~25%% duty cycle", out.DownTime())
+	}
+	begins := len(pl.Log.Filter(trace.CatFault, "link"))
+	if begins < 2*out.Outages() {
+		t.Fatalf("%d logged link events for %d outages; want begin+end pairs", begins, out.Outages())
+	}
+	pl.Stop()
+	if !n.LinkUp() {
+		t.Fatal("Stop left the carrier down")
+	}
+}
+
+// TestPlanStopRestoresHealth: stopping mid-fault recovers every injected
+// failure — carrier, server, latency, battery readout — and Stop twice is
+// safe.
+func TestPlanStopRestoresHealth(t *testing.T) {
+	m, n := newRig(2)
+	srv := netsim.NewServer(m.K, "s")
+	bat := smartbattery.New(m.K, m.Acct, smartbattery.DefaultConfig(), 9_000)
+	pl := faults.NewPlan(m.K, "test", 7)
+	pl.Add(
+		&faults.LinkOutage{Net: n, MeanUp: 5 * time.Second, MeanDown: time.Minute},
+		&faults.ServerCrash{Server: srv, Net: n, MeanUp: 5 * time.Second, MeanDown: time.Minute},
+		&faults.ServerLatency{Server: srv, Net: n, MeanCalm: 5 * time.Second, MeanSpike: time.Minute, Factor: 4},
+		&faults.BatteryDropout{Bat: bat, MeanUp: 5 * time.Second, MeanDown: time.Minute},
+	)
+	pl.Start()
+	// Long fault dwells and short healthy dwells: by t=2 min essentially
+	// every injector is mid-fault.
+	m.K.At(2*time.Minute, func() { m.K.Stop() })
+	m.K.Run(0)
+	if n.LinkUp() && !srv.Down() && srv.LatencyFactor() == 1 && !bat.Dropout() {
+		t.Fatal("scenario injected no faults to recover from")
+	}
+	pl.Stop()
+	pl.Stop() // idempotent
+	if !n.LinkUp() {
+		t.Fatal("carrier still down after Stop")
+	}
+	if srv.Down() {
+		t.Fatal("server still down after Stop")
+	}
+	if srv.LatencyFactor() != 1 {
+		t.Fatalf("latency factor %v after Stop, want 1", srv.LatencyFactor())
+	}
+	if bat.Dropout() {
+		t.Fatal("battery readout still faulted after Stop")
+	}
+}
+
+// TestByteLossArmsAndDisarms: the loss injector inflates transfers while
+// armed and restores losslessness on Stop.
+func TestByteLossArmsAndDisarms(t *testing.T) {
+	m, n := newRig(3)
+	pl := faults.NewPlan(m.K, "test", 1)
+	loss := &faults.ByteLoss{Net: n, Fraction: 0.2}
+	pl.Add(loss)
+	pl.Start()
+	m.K.Spawn("x", func(p *sim.Proc) {
+		if err := n.TryBulkTransfer(p, "app", 100_000, netsim.CallOptions{Timeout: time.Minute}); err != nil {
+			t.Errorf("lossy transfer failed: %v", err)
+		}
+	})
+	m.K.Run(0)
+	armed := n.RetryBytes()
+	if armed <= 0 {
+		t.Fatal("armed loss produced no overhead bytes")
+	}
+	pl.Stop()
+	m.K.Spawn("x", func(p *sim.Proc) {
+		if err := n.TryBulkTransfer(p, "app", 100_000, netsim.CallOptions{Timeout: time.Minute}); err != nil {
+			t.Errorf("clean transfer failed: %v", err)
+		}
+	})
+	m.K.Run(0)
+	if got := n.RetryBytes(); got != armed {
+		t.Fatalf("overhead grew after Stop: %v -> %v", armed, got)
+	}
+}
+
+// TestPlanDeterministicAcrossRuns: the same plan seed must reproduce the
+// exact fault schedule — counts and event order — independent of runs.
+func TestPlanDeterministicAcrossRuns(t *testing.T) {
+	run := func(seed int64) string {
+		m, n := newRig(1)
+		srv := netsim.NewServer(m.K, "s")
+		pl := faults.NewPlan(m.K, "test", seed)
+		pl.Log = trace.NewLog(m.K.Now, 0)
+		pl.Add(
+			&faults.LinkOutage{Net: n, MeanUp: 40 * time.Second, MeanDown: 10 * time.Second},
+			&faults.ServerCrash{Server: srv, Net: n, MeanUp: time.Minute, MeanDown: 15 * time.Second},
+		)
+		pl.Start()
+		m.K.At(15*time.Minute, func() { m.K.Stop() })
+		m.K.Run(0)
+		pl.Stop()
+		var b strings.Builder
+		b.WriteString(pl.Log.Text())
+		keys, counts := pl.Counts()
+		for _, k := range keys {
+			b.WriteString(k)
+			b.WriteByte('0' + byte(counts[k]%10))
+		}
+		return b.String()
+	}
+	a, b := run(99), run(99)
+	if a != b {
+		t.Fatal("same plan seed produced different fault schedules")
+	}
+	if a == run(100) {
+		t.Fatal("different plan seeds produced identical schedules; determinism test is vacuous")
+	}
+}
+
+// TestCountsAndTotal: the plan's event ledger aggregates per injector/event
+// key and sums to TotalEvents.
+func TestCountsAndTotal(t *testing.T) {
+	m, n := newRig(4)
+	pl := faults.NewPlan(m.K, "test", 5)
+	pl.Add(&faults.LinkOutage{Net: n, MeanUp: 20 * time.Second, MeanDown: 5 * time.Second})
+	pl.Start()
+	m.K.At(10*time.Minute, func() { m.K.Stop() })
+	m.K.Run(0)
+	pl.Stop()
+	keys, counts := pl.Counts()
+	if len(keys) == 0 {
+		t.Fatal("no event keys recorded")
+	}
+	sum := 0
+	for _, k := range keys {
+		if !strings.HasPrefix(k, "link/") {
+			t.Fatalf("unexpected event key %q", k)
+		}
+		sum += counts[k]
+	}
+	if sum != pl.TotalEvents() {
+		t.Fatalf("counts sum %d != TotalEvents %d", sum, pl.TotalEvents())
+	}
+}
+
+// TestBatteryDropoutBlanksReadings: while the readout is faulted the battery
+// reports zero current and a stale capacity; recovery resumes live readings.
+func TestBatteryDropoutBlanksReadings(t *testing.T) {
+	m, _ := newRig(6)
+	bat := smartbattery.New(m.K, m.Acct, smartbattery.DefaultConfig(), 9_000)
+	bat.SetPolling(true)
+	// A steady load so current is nonzero when healthy.
+	m.CPU.RunAsync("app", (30 * time.Minute).Seconds(), nil)
+	var during, after float64
+	m.K.At(time.Minute, func() { bat.SetDropout(true) })
+	m.K.At(2*time.Minute, func() { during = bat.Current() })
+	m.K.At(3*time.Minute, func() { bat.SetDropout(false) })
+	m.K.At(4*time.Minute, func() { after = bat.Current(); m.K.Stop() })
+	m.K.Run(0)
+	if during != 0 {
+		t.Fatalf("current %v during dropout, want 0", during)
+	}
+	if after == 0 {
+		t.Fatal("current still zero after recovery")
+	}
+}

@@ -28,6 +28,12 @@ var detrandPackages = []string{
 	"internal/power",
 	"internal/hw",
 	"internal/experiment",
+	"internal/netsim",
+	"internal/odfs",
+	"internal/workload",
+	"internal/app",
+	"internal/smartbattery",
+	"internal/faults",
 }
 
 // detrandForbidden maps package path -> forbidden member -> short reason.

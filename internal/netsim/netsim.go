@@ -20,7 +20,20 @@ import (
 const (
 	PrincipalInterrupts = "Interrupts-WaveLAN"
 	PrincipalKernel     = "Kernel"
+	// PrincipalRetry is charged for traffic that exists only because the
+	// network misbehaved: retry attempts and loss-induced retransmissions.
+	// It makes wasted joules a first-class line in PowerScope profiles.
+	PrincipalRetry = "net-retry"
 )
+
+// outageCapacity is the link service rate during an injected outage: low
+// enough that in-flight transfers effectively stall (and deadline watchdogs
+// fire), but positive so the processor-sharing invariants hold.
+const outageCapacity = 1e-3 // bytes/s
+
+// maxLossFraction caps per-transfer byte loss so the retransmission
+// inflation factor 1/(1-loss) stays finite.
+const maxLossFraction = 0.9
 
 // Tunables for client-side per-byte CPU costs (assumptions; see DESIGN.md).
 const (
@@ -46,14 +59,28 @@ type Network struct {
 	xfers int // byte flows keeping the NIC in transfer state
 
 	bytesMoved float64
+
+	// Failure-plane state (see internal/faults). With no fault plan
+	// attached, resilient is false and every Try* path is byte-for-byte
+	// the legacy path, so fault-free runs are unperturbed.
+	resilient   bool
+	up          bool
+	nominalCap  float64
+	lossSampler func() float64 // per-transfer loss fraction; nil = lossless
+
+	retryAttempts  int
+	retryBytes     float64 // retransmission + retry traffic, bytes
+	deadlineAborts int
 }
 
 // New returns a network for machine m using the profile's link bandwidth.
 func New(m *hw.Machine) *Network {
 	n := &Network{
-		k:    m.K,
-		m:    m,
-		link: sim.NewPSResource(m.K, "wavelan", m.Prof.LinkBandwidth),
+		k:          m.K,
+		m:          m,
+		link:       sim.NewPSResource(m.K, "wavelan", m.Prof.LinkBandwidth),
+		up:         true,
+		nominalCap: m.Prof.LinkBandwidth,
 	}
 	return n
 }
@@ -63,6 +90,56 @@ func (n *Network) Link() *sim.PSResource { return n.link }
 
 // BytesMoved reports total bytes transferred in either direction.
 func (n *Network) BytesMoved() float64 { return n.bytesMoved }
+
+// SetResilient arms the failure-aware transfer layer: Try* calls honor
+// deadlines and retry budgets instead of delegating to the legacy blocking
+// paths. Fault plans arm it when they attach; fault-free experiments leave
+// it off so their schedules and RNG streams are untouched.
+func (n *Network) SetResilient(on bool) { n.resilient = on }
+
+// Resilient reports whether the failure-aware layer is armed.
+func (n *Network) Resilient() bool { return n.resilient }
+
+// SetLinkUp raises or drops the wireless carrier. While down, the link
+// serves at a vanishing rate: in-flight flows stall (their bytes are not
+// lost) and deadline-guarded calls abort via their watchdogs.
+func (n *Network) SetLinkUp(up bool) {
+	if n.up == up {
+		return
+	}
+	n.up = up
+	if up {
+		n.link.SetCapacity(n.nominalCap)
+	} else {
+		n.link.SetCapacity(outageCapacity)
+	}
+}
+
+// LinkUp reports whether the carrier is present.
+func (n *Network) LinkUp() bool { return n.up }
+
+// SetNominalCapacity changes the fault-free link rate (the quality models'
+// knob). During an outage the new rate is recorded and applied on recovery.
+func (n *Network) SetNominalCapacity(c float64) {
+	n.nominalCap = c
+	if n.up {
+		n.link.SetCapacity(c)
+	}
+}
+
+// SetLossSampler installs a per-transfer byte-loss source: called once per
+// flow, it returns the fraction of transmitted bytes lost to the channel
+// (retransmissions inflate traffic by 1/(1-loss)). nil restores losslessness.
+func (n *Network) SetLossSampler(fn func() float64) { n.lossSampler = fn }
+
+// RetryAttempts reports how many retry attempts the resilient layer made.
+func (n *Network) RetryAttempts() int { return n.retryAttempts }
+
+// RetryBytes reports bytes that existed only as retries or retransmissions.
+func (n *Network) RetryBytes() float64 { return n.retryBytes }
+
+// DeadlineAborts reports transfers cancelled by their deadline watchdog.
+func (n *Network) DeadlineAborts() int { return n.deadlineAborts }
 
 // updateNIC drives the interface state machine from the hold/xfer counters.
 func (n *Network) updateNIC() {
@@ -97,19 +174,66 @@ func (n *Network) release() {
 // moveBytes performs the actual byte flow: link time (shared), interrupt and
 // protocol CPU, transfer-state power.
 func (n *Network) moveBytes(p *sim.Proc, principal string, bytes float64) {
+	_ = n.flow(p, principal, bytes, 0)
+}
+
+// flow is moveBytes with the failure plane threaded through: an optional
+// absolute deadline on the virtual clock, and loss-induced retransmission
+// bytes charged to the retry principal. With deadline zero and no loss
+// sampler it is cost- and schedule-identical to the original moveBytes.
+func (n *Network) flow(p *sim.Proc, principal string, bytes float64, deadline time.Duration) error {
 	if bytes <= 0 {
-		return
+		return nil
+	}
+	if deadline > 0 && n.k.Now() >= deadline {
+		return ErrDeadline
+	}
+	overhead := 0.0
+	if n.lossSampler != nil {
+		if f := n.lossSampler(); f > 0 {
+			if f > maxLossFraction {
+				f = maxLossFraction
+			}
+			overhead = bytes * f / (1 - f)
+		}
 	}
 	n.xfers++
 	n.updateNIC()
 	n.bytesMoved += bytes
-	// Interrupt and kernel CPU proceed concurrently with the flow.
-	n.m.CPU.RunAsync(PrincipalInterrupts, bytes*irqCPUPerByte, nil)
-	n.m.CPU.RunAsync(PrincipalKernel, bytes*kernelCPUPerByte, nil)
+	// Interrupt and kernel CPU proceed concurrently with the flow. Bytes
+	// moved on a retry attempt charge their CPU to the retry principal
+	// instead, so wasted work is attributed where it belongs.
+	irqP, kernP := PrincipalInterrupts, PrincipalKernel
+	if principal == PrincipalRetry {
+		irqP, kernP = PrincipalRetry, PrincipalRetry
+		n.retryBytes += bytes
+	}
+	n.m.CPU.RunAsync(irqP, bytes*irqCPUPerByte, nil)
+	n.m.CPU.RunAsync(kernP, bytes*kernelCPUPerByte, nil)
+	if overhead > 0 {
+		// Retransmitted bytes burn the same per-byte CPU, attributed to
+		// the retry principal so the waste is visible in profiles.
+		n.retryBytes += overhead
+		n.m.CPU.RunAsync(PrincipalRetry, overhead*(irqCPUPerByte+kernelCPUPerByte), nil)
+	}
+	defer func() {
+		n.xfers--
+		n.updateNIC()
+	}()
 	p.Sleep(n.m.Prof.LinkLatency)
-	n.link.Use(p, principal, bytes)
-	n.xfers--
-	n.updateNIC()
+	total := bytes + overhead
+	if deadline <= 0 {
+		n.link.Use(p, principal, total)
+		return nil
+	}
+	j := n.link.UseDeadline(p, principal, total, deadline)
+	if j != nil && j.Cancelled() {
+		// Credit back the goodput share of what never made it across.
+		n.bytesMoved -= j.Remaining() * (bytes / total)
+		n.deadlineAborts++
+		return ErrDeadline
+	}
+	return nil
 }
 
 // BulkTransfer moves bytes over the link on behalf of principal, waking the
@@ -146,6 +270,13 @@ type Server struct {
 	// request's service time, giving trials non-degenerate variance.
 	SpeedJitter float64
 	k           *sim.Kernel
+
+	// Failure-plane state: while down, deadline-aware callers fail fast
+	// (legacy Do callers are unaffected — a crashed server answered by the
+	// time their un-deadlined RPC completes). latency multiplies service
+	// times during injected latency spikes; 0 means calm (factor 1).
+	down    bool
+	latency float64
 }
 
 // NewServer returns a server with one second of service capacity per second.
@@ -153,15 +284,54 @@ func NewServer(k *sim.Kernel, name string) *Server {
 	return &Server{Name: name, k: k, res: sim.NewPSResource(k, "server:"+name, 1.0)}
 }
 
+// SetDown crashes or recovers the server. Down servers make deadline-aware
+// requests fail immediately (ErrServerDown from TryRPC).
+func (s *Server) SetDown(down bool) { s.down = down }
+
+// Down reports whether the server is in a crash window.
+func (s *Server) Down() bool { return s.down }
+
+// SetLatencyFactor installs a service-time multiplier for injected latency
+// spikes; factors <= 1 restore calm.
+func (s *Server) SetLatencyFactor(f float64) {
+	if f <= 1 {
+		f = 0
+	}
+	s.latency = f
+}
+
+// LatencyFactor reports the current service-time multiplier (>= 1).
+func (s *Server) LatencyFactor() float64 {
+	if s.latency > 1 {
+		return s.latency
+	}
+	return 1
+}
+
 // Do blocks p while the server spends d of compute time on its request,
 // shared with any concurrent requests and jittered by SpeedJitter.
 func (s *Server) Do(p *sim.Proc, d time.Duration) {
+	s.DoDeadline(p, d, 0)
+}
+
+// DoDeadline is Do with an absolute virtual-time deadline; it reports whether
+// the request completed (false: the deadline cut it off). A zero deadline
+// waits indefinitely, preserving Do's legacy schedule exactly.
+func (s *Server) DoDeadline(p *sim.Proc, d time.Duration, deadline time.Duration) bool {
 	if d <= 0 {
-		return
+		return true
 	}
 	sec := d.Seconds()
 	if s.SpeedJitter > 0 {
 		sec *= 1 + s.SpeedJitter*(2*s.k.Rand().Float64()-1)
 	}
-	s.res.Use(p, s.Name, sec)
+	if s.latency > 1 {
+		sec *= s.latency
+	}
+	if deadline <= 0 {
+		s.res.Use(p, s.Name, sec)
+		return true
+	}
+	j := s.res.UseDeadline(p, s.Name, sec, deadline)
+	return j == nil || !j.Cancelled()
 }

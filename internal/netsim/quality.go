@@ -16,8 +16,8 @@ import (
 // of variation through viceroy resource expectations; pair a LinkQuality
 // with env.Rig.StartBandwidthMonitor to drive those upcalls.
 type LinkQuality struct {
-	k    *sim.Kernel
-	link *sim.PSResource
+	k   *sim.Kernel
+	net *Network
 
 	// GoodCapacity and BadCapacity are the two service rates (bytes/s).
 	GoodCapacity float64
@@ -38,7 +38,7 @@ func NewLinkQuality(n *Network, badFraction float64, meanGood, meanBad time.Dura
 	cap := n.Link().Capacity()
 	return &LinkQuality{
 		k:            n.k,
-		link:         n.Link(),
+		net:          n,
 		GoodCapacity: cap,
 		BadCapacity:  cap * badFraction,
 		MeanGood:     meanGood,
@@ -86,10 +86,13 @@ func (q *LinkQuality) schedule() {
 		}
 		q.good = !q.good
 		q.transitions++
+		// Route through the network so fades compose with injected
+		// outages: during an outage the fade rate is recorded and
+		// applied on recovery instead of overwriting the outage floor.
 		if q.good {
-			q.link.SetCapacity(q.GoodCapacity)
+			q.net.SetNominalCapacity(q.GoodCapacity)
 		} else {
-			q.link.SetCapacity(q.BadCapacity)
+			q.net.SetNominalCapacity(q.BadCapacity)
 		}
 		q.schedule()
 	})

@@ -1,0 +1,183 @@
+package netsim
+
+import (
+	"errors"
+	"time"
+
+	"odyssey/internal/sim"
+)
+
+// Failure-aware call outcomes. Callers treat any non-nil error as "the remote
+// operation did not happen" and fall back locally.
+var (
+	// ErrDeadline: the virtual-clock deadline expired before the transfer
+	// or server work completed.
+	ErrDeadline = errors.New("netsim: deadline exceeded")
+	// ErrLinkDown: the wireless carrier was absent when the call started.
+	ErrLinkDown = errors.New("netsim: link down")
+	// ErrServerDown: the remote server is in a crash window; the request
+	// timed out unanswered.
+	ErrServerDown = errors.New("netsim: server down")
+)
+
+// linkProbe is how long a carrier-sense probe takes to report a dead link:
+// the fail-fast cost of attempting a call during an outage.
+const linkProbe = 100 * time.Millisecond
+
+// CallOptions bounds a resilient call: a per-attempt timeout on the virtual
+// clock, a retry budget, and exponential backoff with seeded jitter drawn
+// from the kernel RNG. The zero value selects the defaults below.
+type CallOptions struct {
+	// Timeout is the per-attempt deadline, relative to the attempt start.
+	Timeout time.Duration
+	// Attempts is the total attempt budget (first try included).
+	Attempts int
+	// Backoff is the delay before the first retry; each subsequent retry
+	// multiplies it by BackoffFactor.
+	Backoff       time.Duration
+	BackoffFactor float64
+	// JitterFrac spreads each backoff uniformly by +/- the given fraction,
+	// decorrelating retry storms across processes.
+	JitterFrac float64
+}
+
+// Default call options: bounded enough that a dead link costs seconds, not a
+// hung process.
+const (
+	defaultTimeout  = 3 * time.Second
+	defaultAttempts = 3
+	defaultBackoff  = 250 * time.Millisecond
+	defaultFactor   = 2.0
+	defaultJitter   = 0.5
+)
+
+func (o CallOptions) withDefaults() CallOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = defaultTimeout
+	}
+	if o.Attempts <= 0 {
+		o.Attempts = defaultAttempts
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = defaultBackoff
+	}
+	if o.BackoffFactor < 1 {
+		o.BackoffFactor = defaultFactor
+	}
+	if o.JitterFrac < 0 || o.JitterFrac >= 1 {
+		o.JitterFrac = defaultJitter
+	}
+	return o
+}
+
+// TryRPC is RPC with the failure plane engaged: per-attempt deadlines,
+// fail-fast on a dead link, timeout on crashed servers, and retries with
+// exponential backoff. Retry attempts run under the net-retry principal so
+// their energy is visible in PowerScope profiles. With the resilient layer
+// disarmed (no fault plan attached) it is exactly the legacy RPC: same
+// costs, same schedule, same RNG draws, nil error.
+func (n *Network) TryRPC(p *sim.Proc, principal string, callBytes float64, server *Server, serverTime time.Duration, replyBytes float64, opts CallOptions) error {
+	if !n.resilient {
+		n.RPC(p, principal, callBytes, server, serverTime, replyBytes)
+		return nil
+	}
+	opts = opts.withDefaults()
+	backoff := opts.Backoff
+	var err error
+	for attempt := 0; attempt < opts.Attempts; attempt++ {
+		pr := principal
+		if attempt > 0 {
+			pr = PrincipalRetry
+			n.retryAttempts++
+		}
+		err = n.tryOnce(p, pr, callBytes, server, serverTime, replyBytes, n.k.Now()+opts.Timeout)
+		if err == nil {
+			return nil
+		}
+		if attempt < opts.Attempts-1 {
+			p.Sleep(jittered(backoff, opts.JitterFrac, n.k))
+			backoff = time.Duration(float64(backoff) * opts.BackoffFactor)
+		}
+	}
+	return err
+}
+
+// TryBulkTransfer is BulkTransfer with deadlines and retries, under the same
+// disarmed-equals-legacy contract as TryRPC.
+func (n *Network) TryBulkTransfer(p *sim.Proc, principal string, bytes float64, opts CallOptions) error {
+	if !n.resilient {
+		n.BulkTransfer(p, principal, bytes)
+		return nil
+	}
+	opts = opts.withDefaults()
+	backoff := opts.Backoff
+	var err error
+	for attempt := 0; attempt < opts.Attempts; attempt++ {
+		pr := principal
+		if attempt > 0 {
+			pr = PrincipalRetry
+			n.retryAttempts++
+		}
+		err = n.tryOnce(p, pr, bytes, nil, 0, 0, n.k.Now()+opts.Timeout)
+		if err == nil {
+			return nil
+		}
+		if attempt < opts.Attempts-1 {
+			p.Sleep(jittered(backoff, opts.JitterFrac, n.k))
+			backoff = time.Duration(float64(backoff) * opts.BackoffFactor)
+		}
+	}
+	return err
+}
+
+// tryOnce performs one bounded attempt: probe the carrier, send, wait for
+// the server, receive. Every blocking step is guarded by the deadline, so an
+// attempt can never outlive it.
+func (n *Network) tryOnce(p *sim.Proc, principal string, callBytes float64, server *Server, serverTime time.Duration, replyBytes float64, deadline time.Duration) error {
+	if !n.up {
+		// Carrier sense fails fast; burn the probe time, not the timeout.
+		d := linkProbe
+		if rem := deadline - n.k.Now(); rem < d {
+			d = rem
+		}
+		if d > 0 {
+			p.Sleep(d)
+		}
+		return ErrLinkDown
+	}
+	n.acquire(p)
+	defer n.release()
+	if err := n.flow(p, principal, callBytes, deadline); err != nil {
+		return err
+	}
+	switch {
+	case server != nil && server.Down():
+		// The request vanished into a crash window: the client waits out
+		// its timeout with the interface awake, then gives up.
+		if rem := deadline - n.k.Now(); rem > 0 {
+			p.Sleep(rem)
+		}
+		return ErrServerDown
+	case server != nil:
+		if !server.DoDeadline(p, serverTime, deadline) {
+			return ErrDeadline
+		}
+	case serverTime > 0:
+		if rem := deadline - n.k.Now(); rem < serverTime {
+			if rem > 0 {
+				p.Sleep(rem)
+			}
+			return ErrDeadline
+		}
+		p.Sleep(serverTime)
+	}
+	return n.flow(p, principal, replyBytes, deadline)
+}
+
+// jittered spreads d by +/- frac uniformly using the kernel's seeded RNG.
+func jittered(d time.Duration, frac float64, k *sim.Kernel) time.Duration {
+	if frac <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * (1 + frac*(2*k.Rand().Float64()-1)))
+}

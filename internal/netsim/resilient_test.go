@@ -1,0 +1,200 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"odyssey/internal/sim"
+)
+
+// TestDisarmedTryMatchesLegacy: with no fault plan armed, the Try* calls must
+// be byte-for-byte the legacy paths — same virtual-clock cost, same bytes,
+// nil error — so fault-free figures are untouched by the resilience layer.
+func TestDisarmedTryMatchesLegacy(t *testing.T) {
+	run := func(try bool) (time.Duration, float64) {
+		m, n := newNet(11)
+		srv := NewServer(m.K, "s")
+		srv.SpeedJitter = 0.2
+		var done time.Duration
+		m.K.Spawn("x", func(p *sim.Proc) {
+			if try {
+				if err := n.TryRPC(p, "app", 30_000, srv, time.Second, 5_000, CallOptions{}); err != nil {
+					t.Errorf("disarmed TryRPC returned %v", err)
+				}
+				if err := n.TryBulkTransfer(p, "app", 100_000, CallOptions{}); err != nil {
+					t.Errorf("disarmed TryBulkTransfer returned %v", err)
+				}
+			} else {
+				n.RPC(p, "app", 30_000, srv, time.Second, 5_000)
+				n.BulkTransfer(p, "app", 100_000)
+			}
+			done = p.Now()
+		})
+		m.K.Run(0)
+		return done, n.BytesMoved()
+	}
+	legacyT, legacyB := run(false)
+	tryT, tryB := run(true)
+	if legacyT != tryT || legacyB != tryB {
+		t.Fatalf("disarmed Try diverged from legacy: %v/%v bytes vs %v/%v",
+			tryT, tryB, legacyT, legacyB)
+	}
+	if legacyT == 0 {
+		t.Fatal("legacy run did no work")
+	}
+}
+
+// TestDeadLinkFailsFast is the no-hang acceptance bar: on a dead link every
+// attempt costs only the carrier probe, so the whole retry budget resolves in
+// well under one per-attempt timeout — no call can block past its deadline.
+func TestDeadLinkFailsFast(t *testing.T) {
+	m, n := newNet(3)
+	n.SetResilient(true)
+	n.SetLinkUp(false)
+	srv := NewServer(m.K, "s")
+	var rpcErr, bulkErr error
+	var done time.Duration
+	m.K.Spawn("x", func(p *sim.Proc) {
+		rpcErr = n.TryRPC(p, "app", 20_000, srv, time.Second, 1_000,
+			CallOptions{Timeout: 2 * time.Second, Attempts: 3, Backoff: 100 * time.Millisecond})
+		bulkErr = n.TryBulkTransfer(p, "app", 50_000,
+			CallOptions{Timeout: 2 * time.Second, Attempts: 3, Backoff: 100 * time.Millisecond})
+		done = p.Now()
+	})
+	m.K.Run(0)
+	if !errors.Is(rpcErr, ErrLinkDown) || !errors.Is(bulkErr, ErrLinkDown) {
+		t.Fatalf("errors %v / %v, want ErrLinkDown", rpcErr, bulkErr)
+	}
+	// 2 calls x (3 probes + 2 jittered backoffs <= 150+300 ms) < 2 s total;
+	// a blocking implementation would burn 6 x 2 s of timeouts instead.
+	if done > 2*time.Second {
+		t.Fatalf("dead-link calls took %v; fail-fast probing should resolve in <2s", done)
+	}
+}
+
+// TestCrashedServerTimesOutAndChargesRetries: a request into a crash window
+// waits out its own deadline, not forever, and the retry attempt's traffic is
+// charged to the net-retry principal so PowerScope shows the waste.
+func TestCrashedServerTimesOutAndChargesRetries(t *testing.T) {
+	m, n := newNet(4)
+	n.SetResilient(true)
+	srv := NewServer(m.K, "s")
+	srv.SetDown(true)
+	var err error
+	var done time.Duration
+	m.K.Spawn("x", func(p *sim.Proc) {
+		err = n.TryRPC(p, "app", 20_000, srv, time.Second, 1_000,
+			CallOptions{Timeout: time.Second, Attempts: 2, Backoff: 100 * time.Millisecond})
+		done = p.Now()
+	})
+	m.K.Run(0)
+	if !errors.Is(err, ErrServerDown) {
+		t.Fatalf("error %v, want ErrServerDown", err)
+	}
+	// Two attempts, each bounded by its 1 s deadline, plus one backoff.
+	if done < 2*time.Second || done > 2500*time.Millisecond {
+		t.Fatalf("two 1 s attempts finished at %v", done)
+	}
+	if got := n.RetryAttempts(); got != 1 {
+		t.Fatalf("retry attempts %d, want 1", got)
+	}
+	if j := m.Acct.EnergyByPrincipal()[PrincipalRetry]; j <= 0 {
+		t.Fatalf("no energy attributed to %s", PrincipalRetry)
+	}
+}
+
+// TestStalledTransferAbortsAtDeadline: when the link serves (almost) no
+// bytes — an outage landing mid-transfer — the deadline watchdog cancels the
+// flow at the deadline instead of letting it stall indefinitely.
+func TestStalledTransferAbortsAtDeadline(t *testing.T) {
+	m, n := newNet(5)
+	n.SetResilient(true)
+	n.SetNominalCapacity(10) // bytes/s: a 1 MB transfer would take ~28 h
+	var err error
+	var done time.Duration
+	m.K.Spawn("x", func(p *sim.Proc) {
+		err = n.TryBulkTransfer(p, "app", 1e6, CallOptions{Timeout: time.Second, Attempts: 1})
+		done = p.Now()
+	})
+	m.K.Run(0)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("error %v, want ErrDeadline", err)
+	}
+	if done > 1100*time.Millisecond {
+		t.Fatalf("stalled transfer released at %v, past its 1 s deadline", done)
+	}
+	if got := n.DeadlineAborts(); got != 1 {
+		t.Fatalf("deadline aborts %d, want 1", got)
+	}
+}
+
+// TestByteLossInflatesRetryBytes: a constant 50% loss fraction doubles the
+// traffic (f/(1-f) = 1), and the overhead lands in the retry ledger.
+func TestByteLossInflatesRetryBytes(t *testing.T) {
+	m, n := newNet(6)
+	n.SetResilient(true)
+	n.SetLossSampler(func() float64 { return 0.5 })
+	const bytes = 80_000
+	m.K.Spawn("x", func(p *sim.Proc) {
+		if err := n.TryBulkTransfer(p, "app", bytes, CallOptions{Timeout: 10 * time.Second}); err != nil {
+			t.Errorf("lossy transfer failed: %v", err)
+		}
+	})
+	m.K.Run(0)
+	if got := n.RetryBytes(); !approx(got, bytes, 1) {
+		t.Fatalf("retry bytes %v, want ~%v (loss overhead at f=0.5)", got, float64(bytes))
+	}
+}
+
+// TestRetryScheduleDeterministic: jittered backoff draws from the kernel
+// stream, so the same seed yields the same retry schedule to the nanosecond.
+func TestRetryScheduleDeterministic(t *testing.T) {
+	run := func() time.Duration {
+		m, n := newNet(9)
+		n.SetResilient(true)
+		n.SetLinkUp(false)
+		m.K.After(700*time.Millisecond, func() { n.SetLinkUp(true) })
+		var done time.Duration
+		m.K.Spawn("x", func(p *sim.Proc) {
+			if err := n.TryBulkTransfer(p, "app", 40_000,
+				CallOptions{Timeout: 2 * time.Second, Attempts: 4, Backoff: 200 * time.Millisecond}); err != nil {
+				t.Errorf("transfer never recovered: %v", err)
+			}
+			done = p.Now()
+		})
+		m.K.Run(0)
+		if n.RetryAttempts() == 0 {
+			t.Fatal("scenario exercised no retries")
+		}
+		return done
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different retry schedules: %v vs %v", a, b)
+	}
+}
+
+// TestServerLatencyFactorSlowsRequests: a latency spike multiplies service
+// time; clearing it restores the calm rate.
+func TestServerLatencyFactorSlowsRequests(t *testing.T) {
+	m, _ := newNet(8)
+	srv := NewServer(m.K, "s")
+	srv.SetLatencyFactor(3)
+	var spiked, calm time.Duration
+	m.K.Spawn("x", func(p *sim.Proc) {
+		t0 := p.Now()
+		srv.Do(p, time.Second)
+		spiked = p.Now() - t0
+		srv.SetLatencyFactor(1)
+		t0 = p.Now()
+		srv.Do(p, time.Second)
+		calm = p.Now() - t0
+	})
+	m.K.Run(0)
+	if spiked < 2900*time.Millisecond || spiked > 3100*time.Millisecond {
+		t.Fatalf("spiked request took %v, want ~3s", spiked)
+	}
+	if calm < 900*time.Millisecond || calm > 1100*time.Millisecond {
+		t.Fatalf("calm request took %v, want ~1s", calm)
+	}
+}

@@ -20,10 +20,15 @@ type PSJob struct {
 	remaining float64
 	owner     *Proc  // parked process to wake on completion; nil for async jobs
 	onDone    func() // optional completion callback (async jobs)
+	cancelled bool
 }
 
 // Remaining reports the work left, in resource units.
 func (j *PSJob) Remaining() float64 { return j.remaining }
+
+// Cancelled reports whether the job was removed from service before
+// completion (see PSResource.CancelJob).
+func (j *PSJob) Cancelled() bool { return j.cancelled }
 
 // PSResource is an egalitarian processor-sharing server: capacity units of
 // work per second, divided equally among all active jobs. It models both the
@@ -198,6 +203,62 @@ func (r *PSResource) Use(p *Proc, principal string, demand float64) {
 	j := &PSJob{Principal: principal, remaining: demand, owner: p}
 	r.add(j)
 	p.park()
+}
+
+// UseDeadline is Use with an absolute virtual-time deadline: if the work has
+// not completed by deadline the job is cancelled and the caller resumes
+// immediately. A deadline of zero (or in the past at submission with nothing
+// served) disables the watchdog. It returns the job so callers can check
+// Cancelled and Remaining; nil means there was nothing to do.
+func (r *PSResource) UseDeadline(p *Proc, principal string, demand float64, deadline time.Duration) *PSJob {
+	if demand <= 0 {
+		return nil
+	}
+	j := &PSJob{Principal: principal, remaining: demand, owner: p}
+	r.add(j)
+	var watchdog *Event
+	if deadline > r.k.Now() {
+		watchdog = r.k.At(deadline, func() { r.CancelJob(j) })
+	}
+	p.park()
+	if watchdog != nil {
+		watchdog.Cancel()
+	}
+	return j
+}
+
+// CancelJob removes a job from service before completion, crediting the work
+// already done and waking the owning process (which observes Cancelled). It
+// must be called from kernel context (an event callback) and reports whether
+// the job was still in service.
+func (r *PSResource) CancelJob(j *PSJob) bool {
+	if j == nil || j.cancelled {
+		return false
+	}
+	idx := -1
+	for i, q := range r.jobs {
+		if q == j {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false // already completed (or never queued)
+	}
+	r.advance()
+	copy(r.jobs[idx:], r.jobs[idx+1:])
+	r.jobs[len(r.jobs)-1] = nil
+	r.jobs = r.jobs[:len(r.jobs)-1]
+	j.cancelled = true
+	r.reschedule()
+	if r.OnChange != nil {
+		r.OnChange()
+	}
+	// onDone is a completion callback; a cancelled job never completes.
+	if j.owner != nil {
+		r.k.transfer(j.owner)
+	}
+	return true
 }
 
 // UseAsync enqueues demand units of work for principal without blocking any

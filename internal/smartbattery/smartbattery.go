@@ -83,6 +83,7 @@ type Battery struct {
 	cacheCap    float64
 
 	polling bool
+	dropout bool
 }
 
 // New attaches a battery holding initialJoules to the machine measured by
@@ -149,9 +150,26 @@ func (b *Battery) effectiveDrain(watts float64) float64 {
 	return watts * scale
 }
 
+// SetDropout simulates a monitoring-bus fault (SMBus glitch, controller
+// reset): while on, Current reads 0 and RemainingCapacity returns the last
+// reading taken before the dropout. The physical pack keeps draining.
+func (b *Battery) SetDropout(on bool) {
+	if on && !b.dropout {
+		// Capture a final good reading so the stale cache is coherent.
+		b.refresh()
+	}
+	b.dropout = on
+}
+
+// Dropout reports whether the readout path is currently faulted.
+func (b *Battery) Dropout() bool { return b.dropout }
+
 // refresh updates the cached readout if the refresh period has elapsed.
 func (b *Battery) refresh() {
 	b.sync()
+	if b.dropout {
+		return
+	}
 	now := b.k.Now()
 	// An explicit flag, not a cacheCap==0 sentinel: a fully drained pack
 	// reads exactly 0 and must still be rate-limited.
@@ -178,8 +196,13 @@ func (b *Battery) refresh() {
 }
 
 // Current returns the quantized, rate-limited current reading in amperes.
+// During a readout dropout it reads 0, which sampling loops treat as a
+// missed sample.
 func (b *Battery) Current() float64 {
 	b.refresh()
+	if b.dropout {
+		return 0
+	}
 	return b.cacheI
 }
 

@@ -25,6 +25,7 @@ const (
 	CatOp       Category = "op"       // application operations
 	CatMonitor  Category = "monitor"  // energy-monitor decisions
 	CatResource Category = "resource" // viceroy resource updates
+	CatFault    Category = "fault"    // injected failures (outages, crashes, dropouts)
 )
 
 // Event is one timestamped observation.

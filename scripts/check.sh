@@ -16,6 +16,10 @@
 #   6. go test -tags odysseydebug ...      energy-conservation runtime
 #                                          assertions cross-checking the
 #                                          exact integrator
+#   7. go test -fuzz FuzzPathHandling      short fuzz budget over odfs path
+#                                          handling (seed corpus + 5s)
+#   8. odyssey-sim -figure resilience      smoke: the fault-injection plane
+#                                          end to end on one trial
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -39,5 +43,13 @@ fi
 
 echo "==> go test -tags odysseydebug (power, hw, experiment, integration)"
 go test -tags odysseydebug ./internal/power/... ./internal/hw/... ./internal/experiment/... ./internal/integration/...
+
+if [ "${1:-}" != "fast" ]; then
+    echo "==> go test -fuzz FuzzPathHandling -fuzztime 5s ./internal/odfs"
+    go test -run '^$' -fuzz FuzzPathHandling -fuzztime 5s ./internal/odfs
+
+    echo "==> resilience smoke (odyssey-sim -figure resilience -trials 1)"
+    go run ./cmd/odyssey-sim -figure resilience -trials 1
+fi
 
 echo "ALL CHECKS PASSED"
