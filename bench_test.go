@@ -9,6 +9,7 @@
 package odyssey_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -304,4 +305,26 @@ func BenchmarkPowerScopeSampling(b *testing.B) {
 	b.ResetTimer()
 	rig.K.Run(0)
 	pf.Stop()
+}
+
+// BenchmarkRunGridParallel measures the trial scheduler's scaling: the same
+// Figure 6 grid (4 clips x 6 bars, 5 trials per cell = 120 independent
+// simulations) under worker pools of increasing width. On a multicore
+// machine the 4-worker case should run at least twice as fast as serial;
+// on a single-core box the sub-benchmarks coincide, which is itself the
+// point — the pool adds no overhead worth measuring. Output is
+// byte-identical at every width, so this is pure wall-clock.
+func BenchmarkRunGridParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			experiment.SetParallelism(workers)
+			defer experiment.SetParallelism(1)
+			for i := 0; i < b.N; i++ {
+				g := experiment.Figure6(5)
+				if len(g.Objects) == 0 {
+					b.Fatal("empty grid")
+				}
+			}
+		})
+	}
 }

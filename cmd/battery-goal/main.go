@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -29,7 +30,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	traceFile := flag.String("trace", "", "write the supply/demand/fidelity trace as CSV")
 	faultsArg := flag.String("faults", "none", "fault plan severity: none, mild, mid, severe")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent simulation runs (1 = serial; output is identical either way)")
 	flag.Parse()
+	experiment.SetParallelism(*parallel)
 
 	planBuilder, ok := experiment.ResiliencePlanByName(*faultsArg)
 	if !ok {
@@ -39,8 +42,9 @@ func main() {
 	}
 
 	if *goal == 0 {
-		hi := experiment.RuntimeAtFixedFidelity(*seed, *joules, false)
-		lo := experiment.RuntimeAtFixedFidelity(*seed, *joules, true)
+		// The two fixed-fidelity endpoint runs are independent
+		// simulations; FeasibleBand fans them across the worker pool.
+		hi, lo := experiment.FeasibleBand(*seed, *joules)
 		fmt.Printf("Feasible battery-duration band for %.0f J:\n", *joules)
 		fmt.Printf("  highest fidelity: %v\n", hi.Round(1e9))
 		fmt.Printf("  lowest fidelity:  %v\n", lo.Round(1e9))

@@ -4,8 +4,13 @@
 //
 // Usage:
 //
-//	odyssey-sim -figure fig6 [-trials 5]
+//	odyssey-sim -figure fig6 [-trials 5] [-parallel N] [-cache-dir DIR] [-progress]
 //	odyssey-sim -figure all
+//
+// -parallel fans trials across a worker pool (default: all CPUs) without
+// changing a byte of output; -cache-dir persists per-cell results so a
+// repeated run skips unchanged cells; -progress reports per-cell timing
+// and cache hits on stderr.
 //
 // Figure ids: fig2 fig4 fig6 fig8 fig10 fig11 fig13 fig14 fig15 fig16
 // fig18 fig19 fig20 fig21 fig22 — plus "ablations" (design-choice
@@ -17,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -57,8 +63,16 @@ func main() {
 	breakdown := flag.Bool("breakdown", false, "also print per-software-component breakdowns")
 	csvOut := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	list := flag.Bool("list", false, "list known figure ids with descriptions and exit")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for trial execution (1 = serial; output is identical either way)")
+	cacheDir := flag.String("cache-dir", "", "persistent cell-result cache directory (empty = disabled)")
+	progress := flag.Bool("progress", false, "print per-cell progress/timing lines to stderr")
 	flag.Parse()
 	emitCSV = *csvOut
+	experiment.SetParallelism(*parallel)
+	experiment.SetCacheDir(*cacheDir)
+	if *progress {
+		experiment.SetProgress(os.Stderr)
+	}
 
 	ids := make([]string, 0, len(figures))
 	for _, f := range figures {

@@ -416,8 +416,33 @@ func TestTableCSV(t *testing.T) {
 	if lines[0] != "Object,Energy (J)" {
 		t.Fatalf("header %q", lines[0])
 	}
-	if !strings.Contains(lines[2], `"a,b"`) {
-		t.Fatalf("comma cell not quoted: %q", lines[2])
+	// RFC 4180: embedded quotes are doubled inside a quoted field, never
+	// backslash-escaped (the old %q rendering wrote "say \"hi\"", which
+	// spreadsheet importers read as three broken fields).
+	if lines[2] != `"a,b","say ""hi"""` {
+		t.Fatalf("quoting not RFC 4180: %q", lines[2])
+	}
+	if strings.Contains(csv, `\"`) {
+		t.Fatalf("csv contains backslash escapes: %q", csv)
+	}
+}
+
+// TestTableCSVNewlines: fields containing newlines or carriage returns must
+// be quoted so multi-line cells survive a round trip through encoding/csv.
+func TestTableCSVNewlines(t *testing.T) {
+	tab := &Table{
+		Columns: []string{"k", "v"},
+		Rows:    [][]string{{"multi", "line1\nline2"}, {"cr", "a\rb"}, {"plain", "x"}},
+	}
+	csv := tab.CSV()
+	if !strings.Contains(csv, "\"line1\nline2\"") {
+		t.Fatalf("newline cell not quoted: %q", csv)
+	}
+	if !strings.Contains(csv, "\"a\rb\"") {
+		t.Fatalf("carriage-return cell not quoted: %q", csv)
+	}
+	if !strings.Contains(csv, "plain,x\n") {
+		t.Fatalf("plain cells must stay unquoted: %q", csv)
 	}
 }
 

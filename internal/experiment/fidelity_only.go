@@ -23,7 +23,7 @@ func figureVideoFidelityOnly(trials int) *Grid {
 	}
 	bars := []Bar{{Label: BarBaseline}, {Label: "Lowest Fidelity (no mgmt)"}}
 	tracks := []video.Track{video.TrackBase, video.TrackCombined}
-	return RunGrid("video fidelity-only", objects, bars, trials, 1610,
+	return RunGrid("fidelity-video", "video fidelity-only", objects, bars, trials, 1610,
 		func(oi, bi int) Trial {
 			clip, track := clips[oi], tracks[bi]
 			return func(rig *env.Rig, p *sim.Proc) {
@@ -43,7 +43,7 @@ func figureSpeechFidelityOnly(trials int) *Grid {
 		{Mode: speech.Local, Vocab: speech.FullVocab},
 		{Mode: speech.Hybrid, Vocab: speech.ReducedVocab},
 	}
-	return RunGrid("speech fidelity-only", objects, bars, trials, 1620,
+	return RunGrid("fidelity-speech", "speech fidelity-only", objects, bars, trials, 1620,
 		func(oi, bi int) Trial {
 			u, cfg := utts[oi], cfgs[bi]
 			return func(rig *env.Rig, p *sim.Proc) {
@@ -63,7 +63,7 @@ func figureMapFidelityOnly(trials int, think time.Duration) *Grid {
 		{Filter: mapview.FullDetail},
 		{Filter: mapview.SecondaryRoadFilter, Cropped: true},
 	}
-	return RunGrid("map fidelity-only", objects, bars, trials, 1630+int64(think/time.Second),
+	return RunGrid("fidelity-map", "map fidelity-only", objects, bars, trials, 1630+int64(think/time.Second),
 		func(oi, bi int) Trial {
 			m, cfg := maps[oi], cfgs[bi]
 			return func(rig *env.Rig, p *sim.Proc) {
@@ -80,7 +80,7 @@ func figureWebFidelityOnly(trials int, think time.Duration) *Grid {
 	}
 	bars := []Bar{{Label: BarBaseline}, {Label: "Lowest Fidelity (no mgmt)"}}
 	qs := []web.Quality{web.FullFidelity, web.JPEG5}
-	return RunGrid("web fidelity-only", objects, bars, trials, 1640+int64(think/time.Second),
+	return RunGrid("fidelity-web", "web fidelity-only", objects, bars, trials, 1640+int64(think/time.Second),
 		func(oi, bi int) Trial {
 			img, q := images[oi], qs[bi]
 			return func(rig *env.Rig, p *sim.Proc) {

@@ -59,7 +59,7 @@ func figureMap(trials int, think time.Duration, seed int64) *Grid {
 		objects[i] = m.City
 	}
 	bars, cfgs := mapConfigs()
-	return RunGrid("Figure 10: energy impact of fidelity for map viewing",
+	return RunGrid("fig10", "Figure 10: energy impact of fidelity for map viewing",
 		objects, bars, trials, seed,
 		func(oi, bi int) Trial {
 			m, cfg := maps[oi], cfgs[bi]
@@ -101,7 +101,7 @@ func Figure11(trials int) *ThinkTimeSeries {
 		{"Hardware-Only Power Mgmt.", mgmt, mapview.Config{Filter: mapview.FullDetail}},
 		{"Lowest Fidelity", mgmt, mapview.Config{Filter: mapview.SecondaryRoadFilter, Cropped: true}},
 	}
-	return thinkTimeSweep("Figure 11", sj.City, 1100, trials,
+	return thinkTimeSweep("fig11", sj.City, 1100, trials,
 		func(ci int) (string, Setup) { return cases[ci].name, cases[ci].setup },
 		len(cases),
 		func(ci int, think time.Duration) Trial {
@@ -113,8 +113,9 @@ func Figure11(trials int) *ThinkTimeSeries {
 }
 
 // thinkTimeSweep runs the 0/5/10/20 s think-time sensitivity for a set of
-// cases and fits lines.
-func thinkTimeSweep(title, object string, seed int64, trials int,
+// cases and fits lines. fig is the stable id the sweep's cells are cached
+// under; every (case, think) cell has a distinct seed, so keys never clash.
+func thinkTimeSweep(fig, object string, seed int64, trials int,
 	caseInfo func(ci int) (string, Setup), nCases int,
 	trialFor func(ci int, think time.Duration) Trial) *ThinkTimeSeries {
 
@@ -126,7 +127,7 @@ func thinkTimeSweep(title, object string, seed int64, trials int,
 		row := make([]float64, len(thinks))
 		xs := make([]float64, len(thinks))
 		for ti, think := range thinks {
-			cell := runCell(trials, seed+int64(ci*97+ti*13), Bar{Label: name, Setup: setup}, trialFor(ci, think))
+			cell := runCell(fig, object, trials, seed+int64(ci*97+ti*13), Bar{Label: name, Setup: setup}, trialFor(ci, think))
 			row[ti] = cell.Energy.Mean
 			xs[ti] = think.Seconds()
 		}
@@ -136,7 +137,6 @@ func thinkTimeSweep(title, object string, seed int64, trials int,
 		s.InterceptJ = append(s.InterceptJ, fit.Intercept)
 		s.R2 = append(s.R2, fit.R2)
 	}
-	_ = title
 	return s
 }
 

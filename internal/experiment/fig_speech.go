@@ -51,7 +51,7 @@ func Figure8(trials int) *Grid {
 		{Mode: speech.Hybrid, Vocab: speech.FullVocab},
 		{Mode: speech.Hybrid, Vocab: speech.ReducedVocab},
 	}
-	return RunGrid("Figure 8: energy impact of fidelity for speech recognition",
+	return RunGrid("fig8", "Figure 8: energy impact of fidelity for speech recognition",
 		objects, bars, trials, 800,
 		func(oi, bi int) Trial {
 			u, cfg := utts[oi], cfgs[bi]

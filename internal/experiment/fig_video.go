@@ -47,7 +47,7 @@ func Figure6(trials int) *Grid {
 		objects[i] = c.Name
 	}
 	bars, tracks := videoBars()
-	return RunGrid("Figure 6: energy impact of fidelity for video playing",
+	return RunGrid("fig6", "Figure 6: energy impact of fidelity for video playing",
 		objects, bars, trials, 600,
 		func(oi, bi int) Trial {
 			clip, track := clips[oi], tracks[bi]

@@ -35,7 +35,7 @@ func figureWeb(trials int, think time.Duration, seed int64) *Grid {
 		bars = append(bars, Bar{Label: q.String(), Setup: mgmt})
 		qualities = append(qualities, q)
 	}
-	return RunGrid("Figure 13: energy impact of fidelity for Web browsing",
+	return RunGrid("fig13", "Figure 13: energy impact of fidelity for Web browsing",
 		objects, bars, trials, seed,
 		func(oi, bi int) Trial {
 			img, q := images[oi], qualities[bi]
@@ -61,7 +61,7 @@ func Figure14(trials int) *ThinkTimeSeries {
 		{"Hardware-Only Power Mgmt.", mgmt, web.FullFidelity},
 		{"Lowest Fidelity", mgmt, web.JPEG5},
 	}
-	return thinkTimeSweep("Figure 14", img.Name, 1400, trials,
+	return thinkTimeSweep("fig14", img.Name, 1400, trials,
 		func(ci int) (string, Setup) { return cases[ci].name, cases[ci].setup },
 		len(cases),
 		func(ci int, think time.Duration) Trial {

@@ -85,7 +85,7 @@ func zonedVideoRow(trials int) ZonedRow {
 	for i, c := range clips {
 		objects[i] = c.Name
 	}
-	g := RunGrid("Figure 18 (video)", objects, zonedBars(), trials, 1800,
+	g := RunGrid("fig18-video", "Figure 18 (video)", objects, zonedBars(), trials, 1800,
 		func(oi, bi int) Trial {
 			clip := clips[oi]
 			track := video.TrackBase
@@ -105,7 +105,7 @@ func zonedMapRow(trials int, think time.Duration) ZonedRow {
 	for i, m := range maps {
 		objects[i] = m.City
 	}
-	g := RunGrid("Figure 18 (map)", objects, zonedBars(), trials, 1850+int64(think/time.Second),
+	g := RunGrid("fig18-map", "Figure 18 (map)", objects, zonedBars(), trials, 1850+int64(think/time.Second),
 		func(oi, bi int) Trial {
 			m := maps[oi]
 			cfg := mapview.Config{Filter: mapview.FullDetail}

@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"time"
 
 	"odyssey/internal/app/env"
 	"odyssey/internal/sim"
@@ -47,9 +46,16 @@ type Grid struct {
 }
 
 // RunGrid measures every (object, bar) cell with the given number of
-// trials. trialFor returns the workload for an object under a bar
-// configuration. baseSeed separates figures so their random streams differ.
-func RunGrid(title string, objects []string, bars []Bar, trials int, baseSeed int64,
+// trials. fig is the stable figure id cells are cached under; trialFor
+// returns the workload for an object under a bar configuration. baseSeed
+// separates figures so their random streams differ.
+//
+// Cells already present in the cell cache (SetCacheDir) are reused; the
+// remaining (cell, trial) pairs are fanned out across the worker pool
+// (SetParallelism) and merged in fixed (object, bar, trial) index order, so
+// the grid — and every table rendered from it — is byte-identical however
+// many workers ran it.
+func RunGrid(fig, title string, objects []string, bars []Bar, trials int, baseSeed int64,
 	trialFor func(object int, bar int) Trial) *Grid {
 
 	g := &Grid{Title: title, Objects: objects}
@@ -57,55 +63,69 @@ func RunGrid(title string, objects []string, bars []Bar, trials int, baseSeed in
 		g.Bars = append(g.Bars, b.Label)
 	}
 	g.Cells = make([][]Cell, len(objects))
+
+	// Resolve cached cells first; only misses are scheduled.
+	type pending struct {
+		oi, bi int
+		seed   int64
+	}
+	var misses []pending
 	for oi := range objects {
 		g.Cells[oi] = make([]Cell, len(bars))
 		for bi, bar := range bars {
-			g.Cells[oi][bi] = runCell(trials, baseSeed+int64(oi*1009+bi*101), bar, trialFor(oi, bi))
+			seed := baseSeed + int64(oi*1009+bi*101)
+			if cell, ok := cacheLookup(fig, objects[oi], bar.Label, seed, trials); ok {
+				g.Cells[oi][bi] = cell
+				progressf("cell %s %s / %s: cache hit", fig, objects[oi], bar.Label)
+				continue
+			}
+			misses = append(misses, pending{oi, bi, seed})
 		}
+	}
+	if len(misses) == 0 {
+		return g
+	}
+
+	// trialFor may close over per-figure state, so resolve the workloads
+	// serially; the Trial closures themselves run concurrently, each on a
+	// rig private to its goroutine.
+	trialOf := make([]Trial, len(misses))
+	for mi, pd := range misses {
+		trialOf[mi] = trialFor(pd.oi, pd.bi)
+	}
+	results := make([][]trialResult, len(misses))
+	for mi := range results {
+		results[mi] = make([]trialResult, trials)
+	}
+	runTasks(len(misses)*trials, func(i int) {
+		mi, t := i/trials, i%trials
+		results[mi][t] = runTrial(misses[mi].seed, t, bars[misses[mi].bi], trialOf[mi])
+	})
+	for mi, pd := range misses {
+		cell := aggregateCell(trials, results[mi])
+		g.Cells[pd.oi][pd.bi] = cell
+		cacheStore(fig, objects[pd.oi], bars[pd.bi].Label, pd.seed, trials, cell)
+		progressf("cell %s %s / %s: %d trials in %v", fig, objects[pd.oi], bars[pd.bi].Label,
+			trials, cellWall(results[mi]))
 	}
 	return g
 }
 
-// runCell executes trials of one configuration and aggregates.
-func runCell(trials int, seed int64, bar Bar, trial Trial) Cell {
-	energies := make([]float64, 0, trials)
-	durations := make([]float64, 0, trials)
-	breakdown := make(map[string]float64)
-	for t := 0; t < trials; t++ {
-		zones := bar.Zones
-		if zones == 0 {
-			zones = 1
-		}
-		rig := env.NewRig(seed*7919+int64(t)+1, zones)
-		if bar.Setup != nil {
-			bar.Setup(rig)
-		}
-		var (
-			energy   float64
-			duration time.Duration
-			before   map[string]float64
-		)
-		rig.K.Spawn("workload", func(p *sim.Proc) {
-			before = rig.M.Acct.EnergyByPrincipal()
-			cp := rig.M.Acct.Checkpoint()
-			start := p.Now()
-			trial(rig, p)
-			energy = cp.Since()
-			duration = p.Now() - start
-		})
-		rig.K.Run(0)
-		energies = append(energies, energy)
-		durations = append(durations, duration.Seconds())
-		after := rig.M.Acct.EnergyByPrincipal()
-		for k, v := range after {
-			breakdown[k] += (v - before[k]) / float64(trials)
-		}
+// runCell measures one configuration outside a grid (the think-time
+// sweeps): same cache, pool, and fixed-order merge as RunGrid cells.
+func runCell(fig, object string, trials int, seed int64, bar Bar, trial Trial) Cell {
+	if cell, ok := cacheLookup(fig, object, bar.Label, seed, trials); ok {
+		progressf("cell %s %s / %s: cache hit", fig, object, bar.Label)
+		return cell
 	}
-	return Cell{
-		Energy:    stats.Summarize(energies),
-		Duration:  stats.Summarize(durations),
-		Breakdown: breakdown,
-	}
+	results := make([]trialResult, trials)
+	runTasks(trials, func(t int) {
+		results[t] = runTrial(seed, t, bar, trial)
+	})
+	cell := aggregateCell(trials, results)
+	cacheStore(fig, object, bar.Label, seed, trials, cell)
+	progressf("cell %s %s / %s: %d trials in %v", fig, object, bar.Label, trials, cellWall(results))
+	return cell
 }
 
 // Savings returns the fractional energy reduction of bar relative to ref
@@ -115,8 +135,13 @@ func (g *Grid) Savings(object, bar, ref int) float64 {
 }
 
 // SavingsRange returns the min and max savings of bar vs ref across all
-// objects — the "X-Y%" ranges quoted throughout the paper.
+// objects — the "X-Y%" ranges quoted throughout the paper. A grid with no
+// objects has no savings to range over and yields (0, 0), not the inverted
+// accumulator sentinel.
 func (g *Grid) SavingsRange(bar, ref int) (lo, hi float64) {
+	if len(g.Objects) == 0 {
+		return 0, 0
+	}
 	lo, hi = 1, -1
 	for oi := range g.Objects {
 		s := g.Savings(oi, bar, ref)
@@ -207,11 +232,14 @@ type Table struct {
 }
 
 // CSV renders the table as comma-separated values with a header row.
+// Quoting follows RFC 4180: fields containing commas, quotes, or line
+// breaks are wrapped in double quotes, with embedded quotes doubled (not
+// the Go-escaped form %q would produce, which CSV readers reject).
 func (t *Table) CSV() string {
 	var b strings.Builder
 	quote := func(s string) string {
-		if strings.ContainsAny(s, ",\"\n") {
-			return fmt.Sprintf("%q", s)
+		if strings.ContainsAny(s, ",\"\n\r") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 		}
 		return s
 	}

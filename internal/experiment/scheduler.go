@@ -1,0 +1,187 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"odyssey/internal/app/env"
+	"odyssey/internal/sim"
+	"odyssey/internal/stats"
+)
+
+// The trial scheduler: every (object, bar, trial) cell execution a figure
+// needs is fanned out across a worker pool and merged back in fixed index
+// order, so the rendered tables are byte-identical to a serial run. Trials
+// are embarrassingly parallel — each one builds a private rig (its own
+// kernel, machine model, network, and viceroy) from a seed derived only
+// from the cell seed and the trial index — so the pool never shares
+// simulation state between goroutines (enforced by odylint's kernelctx
+// kernel-sharing rule).
+
+// sched holds the package-wide scheduler configuration. The experiment
+// front-ends (cmd/odyssey-sim, cmd/battery-goal) set it from flags before
+// running figures; the zero value is the legacy serial behaviour.
+var sched struct {
+	mu       sync.RWMutex
+	workers  int
+	progress io.Writer
+}
+
+// SetParallelism sets how many worker goroutines trial execution may use;
+// values below 2 select the serial path. The setting never changes results:
+// trials are merged in (object, bar, trial) index order either way.
+func SetParallelism(n int) {
+	sched.mu.Lock()
+	defer sched.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	sched.workers = n
+}
+
+// Parallelism returns the configured worker count (at least 1).
+func Parallelism() int {
+	sched.mu.RLock()
+	defer sched.mu.RUnlock()
+	if sched.workers < 1 {
+		return 1
+	}
+	return sched.workers
+}
+
+// SetProgress directs per-cell progress/timing lines to w; nil (the
+// default) disables them. Lines go to w as they are produced, so with a
+// parallel scheduler their order follows completion, not table order.
+func SetProgress(w io.Writer) {
+	sched.mu.Lock()
+	defer sched.mu.Unlock()
+	sched.progress = w
+}
+
+// progressf emits one progress line when a progress writer is configured.
+// Progress is best-effort observability, so write errors are discarded.
+func progressf(format string, args ...any) {
+	sched.mu.Lock()
+	defer sched.mu.Unlock()
+	if sched.progress == nil {
+		return
+	}
+	_, _ = fmt.Fprintf(sched.progress, format+"\n", args...)
+}
+
+// runTasks executes fn(0..n-1) on the configured worker pool. Callers index
+// their result slots by i, so completion order never affects output.
+func runTasks(n int, fn func(i int)) {
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// trialResult is one trial's raw measurement, kept unaggregated so that the
+// merge can reproduce the serial accumulation order exactly.
+type trialResult struct {
+	energy   float64
+	duration time.Duration
+	before   map[string]float64 // per-principal energy before the workload
+	after    map[string]float64 // per-principal energy at kernel drain
+	wall     time.Duration      // host wall-clock cost (observability only)
+}
+
+// runTrial executes one trial of one configuration on a fresh rig. The
+// per-trial seed derivation (seed*7919+t+1) matches the original serial
+// harness, so parallel and serial schedules draw identical random streams.
+func runTrial(seed int64, t int, bar Bar, trial Trial) trialResult {
+	//odylint:allow detrand wall-clock timing is observability only; it never feeds the simulation
+	wallStart := time.Now()
+	zones := bar.Zones
+	if zones == 0 {
+		zones = 1
+	}
+	rig := env.NewRig(seed*7919+int64(t)+1, zones)
+	if bar.Setup != nil {
+		bar.Setup(rig)
+	}
+	var res trialResult
+	rig.K.Spawn("workload", func(p *sim.Proc) {
+		res.before = rig.M.Acct.EnergyByPrincipal()
+		cp := rig.M.Acct.Checkpoint()
+		start := p.Now()
+		trial(rig, p)
+		res.energy = cp.Since()
+		res.duration = p.Now() - start
+	})
+	rig.K.Run(0)
+	res.after = rig.M.Acct.EnergyByPrincipal()
+	//odylint:allow detrand wall-clock timing is observability only; it never feeds the simulation
+	res.wall = time.Since(wallStart)
+	return res
+}
+
+// aggregateCell folds per-trial results into a Cell using the exact
+// floating-point accumulation order of the serial harness: trials in index
+// order, each principal's delta divided by the trial count before adding.
+func aggregateCell(trials int, rs []trialResult) Cell {
+	energies := make([]float64, 0, trials)
+	durations := make([]float64, 0, trials)
+	breakdown := make(map[string]float64)
+	for _, r := range rs {
+		energies = append(energies, r.energy)
+		durations = append(durations, r.duration.Seconds())
+		for k, v := range r.after {
+			breakdown[k] += (v - r.before[k]) / float64(trials)
+		}
+	}
+	return Cell{
+		Energy:    stats.Summarize(energies),
+		Duration:  stats.Summarize(durations),
+		Breakdown: breakdown,
+	}
+}
+
+// cellWall sums the trials' host wall-clock costs — the cell's compute
+// cost, independent of how the pool interleaved it with other cells.
+func cellWall(rs []trialResult) time.Duration {
+	var sum time.Duration
+	for _, r := range rs {
+		sum += r.wall
+	}
+	return sum.Round(time.Millisecond)
+}
+
+// FeasibleBand measures the battery-duration band goal-directed adaptation
+// works within: runtime at highest and lowest fidelity on the same supply.
+// The two fixed-fidelity runs are independent simulations, so they execute
+// on the worker pool.
+func FeasibleBand(seed int64, initialEnergy float64) (hi, lo time.Duration) {
+	var out [2]time.Duration
+	runTasks(2, func(i int) {
+		out[i] = RuntimeAtFixedFidelity(seed, initialEnergy, i == 1)
+	})
+	return out[0], out[1]
+}

@@ -20,9 +20,17 @@ import (
 // yield/resume field outside the blessed three. Outside internal/sim it
 // flags any reference to those fields or to transfer/park (possible only
 // via code cloned out of the package, but the rule is cheap to state).
+//
+// The deterministic packages get one more rule: a `go` statement must not
+// hand a kernel-carrying value (a *sim.Kernel, *sim.Proc, or any struct
+// holding one, such as env.Rig) to the new goroutine — by closure capture,
+// by argument, or as a method-value receiver. A kernel is single-threaded
+// by construction; the parallel trial scheduler gets its speedup from each
+// worker building a private rig, and sharing one across goroutines is a
+// data race over all simulation state.
 var Kernelctx = &Analyzer{
 	Name: "kernelctx",
-	Doc:  "confine Kernel.yield/Proc.resume channel operations to transfer, park, and Spawn",
+	Doc:  "confine Kernel.yield/Proc.resume channel operations to transfer, park, and Spawn; forbid sharing a kernel across goroutines",
 	Run:  runKernelctx,
 }
 
@@ -40,6 +48,9 @@ func runKernelctx(pass *Pass) {
 		return
 	}
 	runKernelctxOutside(pass)
+	if inAnyPackage(pass.Pkg.Path, detrandPackages) {
+		runKernelShare(pass)
+	}
 }
 
 // runKernelctxInside enforces the in-package rule: raw channel operations
@@ -145,4 +156,103 @@ func runKernelctxOutside(pass *Pass) {
 			named.Obj().Name(), name)
 		return true
 	})
+}
+
+// runKernelShare flags `go` statements in the deterministic packages
+// (internal/sim excepted - the kernel itself legitimately starts process
+// goroutines) that leak a kernel-carrying value into the new goroutine.
+func runKernelShare(pass *Pass) {
+	info := pass.Pkg.Info
+	pass.inspect(func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		for _, arg := range g.Call.Args {
+			if t := info.TypeOf(arg); t != nil && carriesKernel(t) {
+				pass.Reportf(arg.Pos(),
+					"goroutine argument has kernel-carrying type %s: a kernel is single-threaded; give each worker a private rig",
+					t)
+			}
+		}
+		switch fun := g.Call.Fun.(type) {
+		case *ast.FuncLit:
+			reportKernelCaptures(pass, fun)
+		case *ast.SelectorExpr:
+			// Method value: `go rig.Worker()` smuggles the receiver in.
+			if s, ok := info.Selections[fun]; ok && s.Kind() == types.MethodVal && carriesKernel(s.Recv()) {
+				pass.Reportf(fun.Pos(),
+					"goroutine method receiver has kernel-carrying type %s: a kernel is single-threaded; give each worker a private rig",
+					s.Recv())
+			}
+		}
+		return true
+	})
+}
+
+// reportKernelCaptures walks a goroutine's function literal and reports
+// every free variable of kernel-carrying type it closes over. Variables
+// declared inside the literal are the goroutine's own; struct fields are
+// reached through their receiver and judged there.
+func reportKernelCaptures(pass *Pass, fl *ast.FuncLit) {
+	info := pass.Pkg.Info
+	reported := map[*types.Var]bool{}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || reported[v] {
+			return true
+		}
+		if v.Pos() >= fl.Pos() && v.Pos() <= fl.End() {
+			return true // the goroutine's own declaration, not a capture
+		}
+		if carriesKernel(v.Type()) {
+			reported[v] = true
+			pass.Reportf(id.Pos(),
+				"goroutine captures %s (kernel-carrying type %s): a kernel is single-threaded; give each worker a private rig",
+				v.Name(), v.Type())
+		}
+		return true
+	})
+}
+
+// carriesKernel reports whether t is, points to, or (one struct level deep)
+// contains a sim.Kernel or sim.Proc. One level is enough for the shapes
+// that occur in practice - *sim.Kernel itself, and rig-like aggregates with
+// a kernel field.
+func carriesKernel(t types.Type) bool {
+	if isKernelNamed(t) {
+		return true
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isKernelNamed(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isKernelNamed reports whether t (possibly behind one pointer) is the
+// sim.Kernel or sim.Proc named type.
+func isKernelNamed(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && pathHasSuffix(obj.Pkg().Path(), "internal/sim") &&
+		(obj.Name() == "Kernel" || obj.Name() == "Proc")
 }

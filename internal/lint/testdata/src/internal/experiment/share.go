@@ -1,0 +1,54 @@
+// Package experiment exercises the kernel-share rule: worker goroutines in
+// the deterministic packages must never receive a kernel-carrying value —
+// each trial builds a private rig instead.
+package experiment
+
+import "fixture/internal/sim"
+
+// Rig mirrors the real env.Rig shape: an aggregate holding a kernel one
+// struct level deep.
+type Rig struct {
+	K *sim.Kernel
+}
+
+func (r Rig) step() {}
+
+// badCapture shares one kernel across workers by closure capture: flagged.
+func badCapture(k *sim.Kernel, done chan struct{}) {
+	go func() {
+		_ = k // want: kernelctx
+		done <- struct{}{}
+	}()
+}
+
+// badRigCapture captures a rig-like aggregate, which smuggles the kernel in
+// through its field: flagged.
+func badRigCapture(r *Rig, done chan struct{}) {
+	go func() {
+		_ = r // want: kernelctx
+		done <- struct{}{}
+	}()
+}
+
+// badArg hands the kernel to the goroutine as a call argument: flagged.
+func badArg(k *sim.Kernel) {
+	go func(kk *sim.Kernel) { _ = kk }(k) // want: kernelctx
+}
+
+// badMethodValue launches a method value whose receiver carries the kernel:
+// flagged.
+func badMethodValue(r Rig) {
+	go r.step() // want: kernelctx
+}
+
+// okPrivateRig is the scheduler's contract: every worker builds its own rig
+// inside the goroutine, so no kernel crosses the boundary.
+func okPrivateRig(n int, done chan struct{}) {
+	for i := 0; i < n; i++ {
+		go func() {
+			r := &Rig{K: &sim.Kernel{}}
+			r.step()
+			done <- struct{}{}
+		}()
+	}
+}

@@ -37,8 +37,13 @@ type CallOptions struct {
 	Backoff       time.Duration
 	BackoffFactor float64
 	// JitterFrac spreads each backoff uniformly by +/- the given fraction,
-	// decorrelating retry storms across processes.
+	// decorrelating retry storms across processes. Leaving it zero selects
+	// the default; to genuinely disable jitter set NoJitter.
 	JitterFrac float64
+	// NoJitter requests exactly deterministic backoff delays (no RNG draw
+	// per retry). JitterFrac alone cannot express this: its zero value is
+	// reserved for "use the default" per the zero-value contract above.
+	NoJitter bool
 }
 
 // Default call options: bounded enough that a dead link costs seconds, not a
@@ -64,7 +69,12 @@ func (o CallOptions) withDefaults() CallOptions {
 	if o.BackoffFactor < 1 {
 		o.BackoffFactor = defaultFactor
 	}
-	if o.JitterFrac < 0 || o.JitterFrac >= 1 {
+	if o.NoJitter {
+		o.JitterFrac = 0
+	} else if o.JitterFrac <= 0 || o.JitterFrac >= 1 {
+		// The old guard read `< 0`, which silently left the zero value
+		// at 0 — every caller relying on "the zero value selects the
+		// defaults" got fully correlated retries instead of jitter.
 		o.JitterFrac = defaultJitter
 	}
 	return o

@@ -198,3 +198,49 @@ func TestServerLatencyFactorSlowsRequests(t *testing.T) {
 		t.Fatalf("calm request took %v, want ~1s", calm)
 	}
 }
+
+// TestWithDefaultsJitterContract pins the three jitter configurations down:
+// the zero value selects the documented default (the old `< 0` guard left it
+// at 0, so unset callers got fully correlated retries), an explicit in-range
+// fraction is preserved, and NoJitter forces 0 regardless of JitterFrac.
+func TestWithDefaultsJitterContract(t *testing.T) {
+	if got := (CallOptions{}).withDefaults().JitterFrac; got != defaultJitter {
+		t.Fatalf("zero-value JitterFrac resolved to %v, want default %v", got, defaultJitter)
+	}
+	if got := (CallOptions{JitterFrac: 0.3}).withDefaults().JitterFrac; got != 0.3 {
+		t.Fatalf("explicit JitterFrac 0.3 resolved to %v", got)
+	}
+	if got := (CallOptions{JitterFrac: 1.5}).withDefaults().JitterFrac; got != defaultJitter {
+		t.Fatalf("out-of-range JitterFrac resolved to %v, want default %v", got, defaultJitter)
+	}
+	if got := (CallOptions{NoJitter: true}).withDefaults().JitterFrac; got != 0 {
+		t.Fatalf("NoJitter resolved to %v, want 0", got)
+	}
+	if got := (CallOptions{NoJitter: true, JitterFrac: 0.3}).withDefaults().JitterFrac; got != 0 {
+		t.Fatalf("NoJitter with explicit JitterFrac resolved to %v, want 0", got)
+	}
+}
+
+// TestNoJitterExactSchedule: with jitter disabled the dead-link retry
+// schedule is exactly arithmetic — three probes plus the 100 ms and 200 ms
+// backoffs — with no RNG draw to perturb it.
+func TestNoJitterExactSchedule(t *testing.T) {
+	m, n := newNet(12)
+	n.SetResilient(true)
+	n.SetLinkUp(false)
+	srv := NewServer(m.K, "s")
+	var err error
+	var done time.Duration
+	m.K.Spawn("x", func(p *sim.Proc) {
+		err = n.TryRPC(p, "app", 10_000, srv, time.Second, 1_000,
+			CallOptions{Timeout: 2 * time.Second, Attempts: 3, Backoff: 100 * time.Millisecond, NoJitter: true})
+		done = p.Now()
+	})
+	m.K.Run(0)
+	if !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("error %v, want ErrLinkDown", err)
+	}
+	if want := 3*linkProbe + 100*time.Millisecond + 200*time.Millisecond; done != want {
+		t.Fatalf("no-jitter schedule finished at %v, want exactly %v", done, want)
+	}
+}

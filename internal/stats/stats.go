@@ -116,7 +116,7 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
-// String renders "mean ± ci" with three significant places.
+// String renders "mean ± ci" with one decimal place.
 func (s Summary) String() string {
 	return fmt.Sprintf("%.1f ± %.1f", s.Mean, s.CI90)
 }

@@ -205,3 +205,63 @@ func TestFitLineRecoversAffine(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPercentileEdges pins the boundary and interpolation behaviour down:
+// out-of-range p clamps to the extremes, a single sample answers every p,
+// and mid-rank queries interpolate linearly between closest ranks.
+func TestPercentileEdges(t *testing.T) {
+	if got := Percentile(nil, 0); got != 0 {
+		t.Errorf("empty p0 = %v", got)
+	}
+	if got := Percentile([]float64{7}, 0); got != 7 {
+		t.Errorf("single-sample p0 = %v", got)
+	}
+	if got := Percentile([]float64{7}, 50); got != 7 {
+		t.Errorf("single-sample p50 = %v", got)
+	}
+	if got := Percentile([]float64{7}, 100); got != 7 {
+		t.Errorf("single-sample p100 = %v", got)
+	}
+	xs := []float64{1, 2}
+	if got := Percentile(xs, 50); !approx(got, 1.5, 1e-12) {
+		t.Errorf("[1,2] p50 = %v, want 1.5", got)
+	}
+	if got := Percentile([]float64{1, 2, 3, 4}, 25); !approx(got, 1.75, 1e-12) {
+		t.Errorf("[1..4] p25 = %v, want 1.75", got)
+	}
+	if got := Percentile(xs, -10); got != 1 {
+		t.Errorf("p<0 should clamp to min, got %v", got)
+	}
+	if got := Percentile(xs, 250); got != 2 {
+		t.Errorf("p>100 should clamp to max, got %v", got)
+	}
+	// Percentile must not reorder the caller's slice.
+	orig := []float64{3, 1, 2}
+	Percentile(orig, 50)
+	if orig[0] != 3 || orig[1] != 1 || orig[2] != 2 {
+		t.Errorf("Percentile mutated its input: %v", orig)
+	}
+}
+
+// TestSummarizeEdges: the empty and single-sample summaries must be usable —
+// no NaNs leaking into tables, no confidence interval claimed from one
+// observation.
+func TestSummarizeEdges(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.CI90 != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	if math.IsNaN(s.Mean) || math.IsNaN(s.StdDev) {
+		t.Fatalf("empty summary has NaNs: %+v", s)
+	}
+	s = Summarize([]float64{42})
+	if s.N != 1 || s.Mean != 42 || s.Min != 42 || s.Max != 42 {
+		t.Fatalf("single-sample summary: %+v", s)
+	}
+	if s.CI90 != 0 {
+		t.Fatalf("one sample cannot support a confidence interval: CI90=%v", s.CI90)
+	}
+	if got := s.String(); got != "42.0 ± 0.0" {
+		t.Fatalf("String() = %q (doc promises one decimal place)", got)
+	}
+}

@@ -20,6 +20,10 @@
 #                                          handling (seed corpus + 5s)
 #   8. odyssey-sim -figure resilience      smoke: the fault-injection plane
 #                                          end to end on one trial
+#   9. parallel/cache smoke                -parallel 4 under -race must be
+#                                          byte-identical to serial, and a
+#                                          warm-cache rerun must serve every
+#                                          cell from the cache
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -50,6 +54,26 @@ if [ "${1:-}" != "fast" ]; then
 
     echo "==> resilience smoke (odyssey-sim -figure resilience -trials 1)"
     go run ./cmd/odyssey-sim -figure resilience -trials 1
+
+    echo "==> parallel equivalence + warm-cache smoke (fig6, -race)"
+    smokedir=$(mktemp -d)
+    trap 'rm -rf "$smokedir"' EXIT
+    go run ./cmd/odyssey-sim -figure fig6 -trials 2 -parallel 1 -csv > "$smokedir/serial.csv"
+    go run -race ./cmd/odyssey-sim -figure fig6 -trials 2 -parallel 4 \
+        -cache-dir "$smokedir/cache" -csv > "$smokedir/parallel.csv"
+    cmp "$smokedir/serial.csv" "$smokedir/parallel.csv" || {
+        echo "FAIL: -parallel 4 output differs from serial" >&2; exit 1; }
+    go run -race ./cmd/odyssey-sim -figure fig6 -trials 2 -parallel 4 \
+        -cache-dir "$smokedir/cache" -csv -progress > "$smokedir/warm.csv" 2> "$smokedir/progress.log"
+    cmp "$smokedir/serial.csv" "$smokedir/warm.csv" || {
+        echo "FAIL: warm-cache output differs from serial" >&2; exit 1; }
+    if grep '^cell ' "$smokedir/progress.log" | grep -qv 'cache hit'; then
+        echo "FAIL: warm-cache rerun recomputed cells:" >&2
+        grep '^cell ' "$smokedir/progress.log" | grep -v 'cache hit' >&2
+        exit 1
+    fi
+    grep -q 'cache hit' "$smokedir/progress.log" || {
+        echo "FAIL: warm-cache rerun produced no cache hits" >&2; exit 1; }
 fi
 
 echo "ALL CHECKS PASSED"
