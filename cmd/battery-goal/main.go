@@ -7,7 +7,12 @@
 //
 // Usage:
 //
-//	battery-goal -joules 22650 -goal 24m [-faults mid] [-trace trace.csv]
+//	battery-goal -joules 22650 -goal 24m [-faults mid] [-misbehave mid] [-trace trace.csv]
+//
+// -misbehave arms the application supervisor and (for severities other
+// than "none") injects the named application-misbehavior ladder; with the
+// flag empty the supervisor is disarmed and runs are byte-identical to
+// earlier releases.
 package main
 
 import (
@@ -30,6 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	traceFile := flag.String("trace", "", "write the supply/demand/fidelity trace as CSV")
 	faultsArg := flag.String("faults", "none", "fault plan severity: none, mild, mid, severe")
+	misbehaveArg := flag.String("misbehave", "", "arm the application supervisor under a misbehavior ladder: none, mild, mid, severe (empty = supervisor disarmed)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent simulation runs (1 = serial; output is identical either way)")
 	flag.Parse()
 	experiment.SetParallelism(*parallel)
@@ -39,6 +45,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown fault severity %q; known: %s\n",
 			*faultsArg, strings.Join(experiment.ResilienceSeverities, " "))
 		os.Exit(2)
+	}
+	var misBuilder experiment.MisbehaveBuilder
+	if *misbehaveArg != "" {
+		misBuilder, ok = experiment.MisbehavePlanByName(*misbehaveArg)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown misbehavior severity %q; known: %s\n",
+				*misbehaveArg, strings.Join(experiment.MisbehaveSeverities, " "))
+			os.Exit(2)
+		}
 	}
 
 	if *goal == 0 {
@@ -60,6 +75,8 @@ func main() {
 		Bursty:        *bursty,
 		RecordTrace:   true,
 		Faults:        planBuilder,
+		Supervise:     *misbehaveArg != "",
+		Misbehave:     misBuilder,
 		RecordEvents:  true,
 	})
 	status := "MET"
@@ -73,6 +90,34 @@ func main() {
 			*faultsArg, r.FaultEvents, r.RetryAttempts, r.RetryEnergy, r.RetryBytes/1e3, r.DeadlineAborts)
 		fmt.Printf("Graceful degradation: speech fallbacks %d, web bypasses %d, cache hits %d, video chunks lost %d, missed power samples %d\n",
 			r.Fallbacks, r.Bypasses, r.CacheHits, r.ChunksLost, r.MissedSamples)
+	}
+	if *misbehaveArg != "" {
+		fmt.Printf("Supervision (%q ladder): %.1f J charged to the supervise principal; missed acks %d, restarts %d\n",
+			*misbehaveArg, r.SuperviseEnergy, r.MissedAcks, r.Restarts)
+		if len(r.Quarantined) > 0 {
+			fmt.Printf("  quarantined %v; surviving budget shares:", r.Quarantined)
+			names := make([]string, 0, len(r.BudgetShares))
+			for n := range r.BudgetShares {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				fmt.Printf(" %s=%.2f", n, r.BudgetShares[n])
+			}
+			fmt.Println()
+		}
+		if len(r.Strikes) > 0 {
+			causes := make([]string, 0, len(r.Strikes))
+			for c := range r.Strikes {
+				causes = append(causes, c)
+			}
+			sort.Strings(causes)
+			fmt.Print("  strikes:")
+			for _, c := range causes {
+				fmt.Printf(" %s=%d", c, r.Strikes[c])
+			}
+			fmt.Println()
+		}
 	}
 	if len(r.Trace) > 1 {
 		chart := textplot.New("Supply and predicted demand", 64, 12)
@@ -97,12 +142,13 @@ func main() {
 		fmt.Printf("  %-8s %d\n", n, r.Adaptations[n])
 	}
 
-	if *faultsArg != "none" && r.Events != nil {
-		fmt.Println("Timeline (fault events alongside adaptation and monitor decisions):")
+	if (*faultsArg != "none" || *misbehaveArg != "") && r.Events != nil {
+		fmt.Println("Timeline (fault and supervision events alongside adaptation and monitor decisions):")
 		shown, total := 0, 0
 		const maxLines = 60
 		for _, e := range r.Events.Events() {
-			if e.Category != trace.CatFault && e.Category != trace.CatAdapt && e.Category != trace.CatMonitor {
+			if e.Category != trace.CatFault && e.Category != trace.CatAdapt &&
+				e.Category != trace.CatMonitor && e.Category != trace.CatSupervise {
 				continue
 			}
 			total++

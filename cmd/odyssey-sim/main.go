@@ -54,6 +54,7 @@ var figures = []struct{ id, desc string }{
 	{"quality", "speech energy vs recognition quality"},
 	{"policy", "centralized viceroy vs decentralized per-app adaptation"},
 	{"resilience", "battery goals under escalating network/server fault plans"},
+	{"supervision", "battery goals under escalating application misbehavior"},
 	{"check", "validation scorecard (exits nonzero on failures)"},
 }
 
@@ -66,8 +67,10 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for trial execution (1 = serial; output is identical either way)")
 	cacheDir := flag.String("cache-dir", "", "persistent cell-result cache directory (empty = disabled)")
 	progress := flag.Bool("progress", false, "print per-cell progress/timing lines to stderr")
+	misbehaveArg := flag.String("misbehave", "", "with -figure supervision: run a single misbehavior rung (none, mild, mid, severe) instead of the full ladder")
 	flag.Parse()
 	emitCSV = *csvOut
+	misbehave = *misbehaveArg
 	experiment.SetParallelism(*parallel)
 	experiment.SetCacheDir(*cacheDir)
 	if *progress {
@@ -106,6 +109,9 @@ func main() {
 
 // emitCSV switches table rendering to CSV.
 var emitCSV bool
+
+// misbehave selects a single supervision rung for -figure supervision.
+var misbehave string
 
 // render prints a table in the selected format.
 func render(t *experiment.Table) {
@@ -166,6 +172,21 @@ func run(id string, trials int, breakdown bool) {
 		render(experiment.PolicyTable(experiment.DecentralizedComparison(min(trials, 3))))
 	case "resilience":
 		render(experiment.ResilienceTable(experiment.FigureResilience(min(trials, 3))))
+	case "supervision":
+		if misbehave != "" {
+			if _, ok := experiment.MisbehavePlanByName(misbehave); !ok {
+				fmt.Fprintf(os.Stderr, "unknown misbehavior severity %q; known: %s\n",
+					misbehave, strings.Join(experiment.MisbehaveSeverities, " "))
+				os.Exit(2)
+			}
+			r := experiment.RunSupervisionTrial(misbehave, 2662)
+			fmt.Printf("Supervision trial (%s): met=%v residual %.0f J (%.1f%% of supply), supervise energy %.1f J\n",
+				misbehave, r.Met, r.Residual, r.Residual/experiment.Figure20InitialEnergy*100, r.SuperviseEnergy)
+			fmt.Printf("  missed acks %d, restarts %d, quarantined %v, strikes %v\n",
+				r.MissedAcks, r.Restarts, r.Quarantined, r.Strikes)
+			return
+		}
+		render(experiment.SupervisionTable(experiment.FigureSupervision(min(trials, 3))))
 	case "check":
 		rs := experiment.Validate(min(trials, 3))
 		render(experiment.ValidationTable(rs))

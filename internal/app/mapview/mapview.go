@@ -18,6 +18,7 @@ import (
 	"odyssey/internal/hw"
 	"odyssey/internal/odfs"
 	"odyssey/internal/sim"
+	"odyssey/internal/supervise"
 )
 
 // Software principals appearing in profiles.
@@ -151,6 +152,9 @@ type Viewer struct {
 	ThinkTime time.Duration
 	// Warden mediates filter/crop annotation for the map data type.
 	Warden Warden
+	// Health is the misbehavior surface the fault plane flips and the
+	// supervision plane observes. The zero value is a healthy process.
+	Health supervise.AppHealth
 }
 
 // levels are ordered lowest fidelity first.
@@ -192,11 +196,18 @@ func (v *Viewer) SetLevel(l int) {
 	v.level = l
 }
 
-// Config returns the fetch fidelity for the current level.
-func (v *Viewer) Config() Config { return viewerLevels[v.level] }
+// Config returns the fetch fidelity fetches actually request. A lying
+// process reports v.level but operates at Health.EffectiveLevel.
+func (v *Viewer) Config() Config {
+	return viewerLevels[v.Health.EffectiveLevel(v.level, len(viewerLevels)-1)]
+}
 
-// View fetches and displays m at the current fidelity.
+// View fetches and displays m at the current fidelity. A dead process
+// views nothing.
 func (v *Viewer) View(p *sim.Proc, m Map) {
+	if !v.Health.Alive() {
+		return
+	}
 	View(v.rig, p, m, v.Config(), v.ThinkTime)
 }
 

@@ -18,6 +18,7 @@ import (
 	"odyssey/internal/netsim"
 	"odyssey/internal/odfs"
 	"odyssey/internal/sim"
+	"odyssey/internal/supervise"
 )
 
 // Software principals appearing in profiles.
@@ -228,6 +229,9 @@ type Recognizer struct {
 	// Fallbacks counts recognitions that lost their server and completed
 	// locally.
 	Fallbacks int
+	// Health is the misbehavior surface the fault plane flips and the
+	// supervision plane observes. The zero value is a healthy process.
+	Health supervise.AppHealth
 }
 
 // NewRecognizer returns a full-fidelity local recognizer.
@@ -263,19 +267,23 @@ func (r *Recognizer) SetLevel(l int) {
 	r.level = l
 }
 
-// Vocab returns the vocabulary for the current level.
+// Vocab returns the vocabulary recognitions actually run with. A lying
+// process reports r.level but operates at Health.EffectiveLevel.
 func (r *Recognizer) Vocab() Vocab {
-	if r.level == 0 {
+	if r.Health.EffectiveLevel(r.level, 1) == 0 {
 		return ReducedVocab
 	}
 	return FullVocab
 }
 
 // Recognize runs one utterance at the current fidelity and mode, reporting
-// where it actually executed.
+// where it actually executed. A dead process recognizes nothing.
 func (r *Recognizer) Recognize(p *sim.Proc, u Utterance) Outcome {
+	if !r.Health.Alive() {
+		return Outcome{}
+	}
 	mode := r.Mode
-	if r.AdaptMode && r.level == 0 {
+	if r.AdaptMode && r.Health.EffectiveLevel(r.level, 1) == 0 {
 		mode = Hybrid
 	}
 	out := Recognize(r.rig, p, u, Config{Mode: mode, Vocab: r.Vocab()})

@@ -22,6 +22,7 @@ import (
 	"odyssey/internal/netsim"
 	"odyssey/internal/odfs"
 	"odyssey/internal/sim"
+	"odyssey/internal/supervise"
 )
 
 // Software principals appearing in profiles.
@@ -99,6 +100,32 @@ func AdaptationTracks() []Track {
 	return []Track{TrackCombined, TrackPremiereC, TrackPremiereB, TrackBase}
 }
 
+// xanimWatts is the fidelity model of the xanim principal's attributed
+// draw, one figure per adaptation track (lowest fidelity first). These are
+// empirical fits, obtained exactly the way Odyssey's fidelity models are:
+// play each track honestly under PowerScope attribution and record the
+// principal's mean watts (share-weighted total system power, so they fold
+// in decode CPU, the stream's interrupt load, and the principal's slice of
+// background draw). The supervision plane compares live attribution
+// against this model to detect applications consuming above their
+// reported fidelity.
+// Levels 0 and 1 share an encoding (the window size they differ in is the
+// X server's work, not Xanim's), so their figures coincide.
+var xanimWatts = []float64{1.80, 1.80, 2.83, 4.08}
+
+// ExpectedPower returns the fidelity model's estimate of the xanim
+// principal's attributed draw (W) while a clip plays at the given
+// adaptation level.
+func ExpectedPower(level int) float64 {
+	if level < 0 {
+		level = 0
+	}
+	if level >= len(xanimWatts) {
+		level = len(xanimWatts) - 1
+	}
+	return xanimWatts[level]
+}
+
 // Clip describes one video data object.
 type Clip struct {
 	Name   string
@@ -127,6 +154,9 @@ type Player struct {
 	Warden Warden
 	// Totals accumulates playback quality across every clip played.
 	Totals PlaybackStats
+	// Health is the misbehavior surface the fault plane flips and the
+	// supervision plane observes. The zero value is a healthy process.
+	Health supervise.AppHealth
 }
 
 // NewPlayer returns a player at full fidelity, registered with the rig's
@@ -165,8 +195,12 @@ func (pl *Player) SetLevel(l int) {
 	pl.level = l
 }
 
-// Track returns the track for the current fidelity level.
-func (pl *Player) Track() Track { return pl.tracks[pl.level] }
+// Track returns the track playback actually streams. A lying process
+// reports pl.level but operates at Health.EffectiveLevel, consuming
+// bandwidth and decode CPU its report does not admit to.
+func (pl *Player) Track() Track {
+	return pl.tracks[pl.Health.EffectiveLevel(pl.level, len(pl.tracks)-1)]
+}
 
 // EnableBandwidthAdaptation registers the player with the viceroy's
 // bandwidth resource (see env.Rig.StartBandwidthMonitor) using the original
@@ -225,6 +259,16 @@ func (pl *Player) adaptToBandwidth(avail float64) {
 // Play streams and displays clip at the player's (possibly changing)
 // fidelity, blocking p until playback completes.
 func (pl *Player) Play(p *sim.Proc, clip Clip) PlaybackStats {
+	if !pl.Health.Alive() {
+		// A dead player shows a frozen window for the clip's duration:
+		// every frame is dropped, and — crucially for the video loop that
+		// calls Play back-to-back — virtual time still advances, so a
+		// crashed process cannot livelock the simulation.
+		p.Sleep(clip.Length)
+		stats := PlaybackStats{FramesDropped: int(clip.Length.Seconds() * FramesPerSecond)}
+		pl.Totals.add(stats)
+		return stats
+	}
 	stats := PlayTrack(pl.rig, p, clip, func() Track { return pl.Track() })
 	pl.Totals.add(stats)
 	return stats

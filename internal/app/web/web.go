@@ -18,6 +18,7 @@ import (
 	"odyssey/internal/netsim"
 	"odyssey/internal/odfs"
 	"odyssey/internal/sim"
+	"odyssey/internal/supervise"
 )
 
 // Software principals appearing in profiles.
@@ -203,6 +204,9 @@ type Browser struct {
 	// distillation proxy.
 	Bypasses  int
 	CacheHits int
+	// Health is the misbehavior surface the fault plane flips and the
+	// supervision plane observes. The zero value is a healthy process.
+	Health supervise.AppHealth
 }
 
 var browserLevels = []Quality{JPEG5, JPEG25, JPEG50, JPEG75, FullFidelity}
@@ -242,12 +246,18 @@ func (b *Browser) SetLevel(l int) {
 	b.level = l
 }
 
-// Quality returns the distillation quality for the current level.
-func (b *Browser) Quality() Quality { return browserLevels[b.level] }
+// Quality returns the distillation quality fetches actually request. A
+// lying process reports b.level but operates at Health.EffectiveLevel.
+func (b *Browser) Quality() Quality {
+	return browserLevels[b.Health.EffectiveLevel(b.level, len(browserLevels)-1)]
+}
 
 // Fetch retrieves and displays img at the current fidelity, reporting how
-// the page was actually retrieved.
+// the page was actually retrieved. A dead process fetches nothing.
 func (b *Browser) Fetch(p *sim.Proc, img Image) FetchOutcome {
+	if !b.Health.Alive() {
+		return FetchOutcome{}
+	}
 	out := Fetch(b.rig, p, img, b.Quality(), b.ThinkTime)
 	if out.Bypassed {
 		b.Bypasses++

@@ -1,0 +1,61 @@
+package core
+
+import "odyssey/internal/trace"
+
+// Priority-weighted energy-budget ledger. The monitor's control loop is
+// global (one smoothed supply/demand comparison drives everyone), but the
+// goal contract is per-user: the battery must last until the goal. The
+// ledger makes the division of the remaining supply explicit — each
+// surviving application holds a share proportional to its priority — so
+// that when the supervision plane quarantines an application, its share is
+// reallocated across the survivors rather than silently stranded, and the
+// reallocation is visible in the trace.
+
+// BudgetShares returns each application's fraction of the remaining energy
+// budget, weighted by static priority. Excluded registrations (restarting
+// or quarantined) hold a zero share; their weight is spread across the
+// survivors, which is exactly the goal-preserving reallocation: the global
+// supply still funds the same goal, now divided among fewer consumers.
+func (em *EnergyMonitor) BudgetShares() map[string]float64 {
+	shares := make(map[string]float64, len(em.v.apps))
+	total := 0
+	for _, r := range em.v.apps {
+		if r.Excluded() {
+			shares[r.App.Name()] = 0
+			continue
+		}
+		total += r.Priority
+	}
+	if total == 0 {
+		return shares
+	}
+	for _, r := range em.v.apps {
+		if !r.Excluded() {
+			shares[r.App.Name()] = float64(r.Priority) / float64(total)
+		}
+	}
+	return shares
+}
+
+// ReallocateBudget redistributes a departed application's budget share
+// across the surviving registrations by priority. The supervision plane
+// calls it when it quarantines an application: the survivors' new shares
+// are logged, the upgrade rate cap is reset, and an evaluation runs
+// immediately, so the freed headroom is claimed as fidelity for the
+// survivors instead of leaking away as residual at the goal.
+func (em *EnergyMonitor) ReallocateBudget(departed string) {
+	shares := em.BudgetShares()
+	if em.Events != nil {
+		em.Events.Add(trace.CatSupervise, departed, "budget reallocated", shares[departed])
+		for _, r := range em.v.byPriority() {
+			if r.Excluded() {
+				continue
+			}
+			em.Events.Add(trace.CatSupervise, r.App.Name(), "budget share", shares[r.App.Name()])
+		}
+	}
+	em.lastUpgrade = -1 << 60
+	if em.running {
+		em.evaluate()
+	}
+}

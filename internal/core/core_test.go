@@ -457,3 +457,136 @@ func TestEventLogRecordsAdaptations(t *testing.T) {
 		}
 	}
 }
+
+// --- Upcall-delivery races and supervision-plane budget shares ---
+
+// TestCancelBetweenScheduleAndDelivery: UpdateResource schedules upcall
+// delivery as a fresh kernel event; a Cancel issued after scheduling but
+// before the event fires must still be honored.
+func TestCancelBetweenScheduleAndDelivery(t *testing.T) {
+	k := sim.NewKernel(1)
+	v := NewViceroy(k)
+	v.DeclareResource("r", 100)
+	fired := false
+	e, _ := v.Request("r", 50, 150, func(float64) { fired = true })
+	k.At(time.Second, func() {
+		v.UpdateResource("r", 0) // delivery now scheduled for this instant
+		e.Cancel()               // cancel lands before the deferred event runs
+	})
+	k.Run(0)
+	if fired {
+		t.Fatal("expectation fired despite Cancel between scheduling and delivery")
+	}
+}
+
+// TestCancelDuringUpdateResourceIteration: when one update fires several
+// expectations, an earlier upcall cancelling a later expectation must
+// suppress the later delivery.
+func TestCancelDuringUpdateResourceIteration(t *testing.T) {
+	k := sim.NewKernel(1)
+	v := NewViceroy(k)
+	v.DeclareResource("r", 100)
+	var e2 *Expectation
+	fired2 := false
+	if _, err := v.Request("r", 50, 150, func(float64) { e2.Cancel() }); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	e2, err = v.Request("r", 50, 150, func(float64) { fired2 = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.At(time.Second, func() { v.UpdateResource("r", 0) })
+	k.Run(0)
+	if fired2 {
+		t.Fatal("expectation fired despite being cancelled by an earlier upcall of the same update")
+	}
+}
+
+// TestDeclareResourceRedeclareNotifies: re-declaring an existing resource is
+// an availability change; expectations whose windows no longer contain the
+// new level must be notified, not silently skipped.
+func TestDeclareResourceRedeclareNotifies(t *testing.T) {
+	k := sim.NewKernel(1)
+	v := NewViceroy(k)
+	v.DeclareResource("r", 100)
+	var got float64 = -1
+	if _, err := v.Request("r", 50, 150, func(a float64) { got = a }); err != nil {
+		t.Fatal(err)
+	}
+	k.At(time.Second, func() { v.DeclareResource("r", 10) })
+	k.Run(0)
+	if got != 10 {
+		t.Fatalf("redeclaration upcall got %v, want 10", got)
+	}
+	if v.Availability("r") != 10 {
+		t.Fatalf("availability %v after redeclaration, want 10", v.Availability("r"))
+	}
+}
+
+// TestByPriorityTieBreakRegistrationOrder: equal priorities must keep
+// registration order (the sort is stable), so the degradation order is
+// deterministic run to run.
+func TestByPriorityTieBreakRegistrationOrder(t *testing.T) {
+	v := NewViceroy(sim.NewKernel(1))
+	a := v.RegisterApp(newFakeApp("a", 2), 2)
+	b := v.RegisterApp(newFakeApp("b", 2), 2)
+	c := v.RegisterApp(newFakeApp("c", 2), 1)
+	d := v.RegisterApp(newFakeApp("d", 2), 2)
+	order := v.byPriority()
+	want := []*Registration{c, a, b, d}
+	for i, r := range want {
+		if order[i] != r {
+			t.Fatalf("order[%d] = %s, want %s", i, order[i].App.Name(), r.App.Name())
+		}
+	}
+}
+
+// TestExcludedSkippedByAdaptation: an excluded registration (restarting or
+// quarantined) must receive no fidelity upcalls; degradation falls to the
+// next registration instead.
+func TestExcludedSkippedByAdaptation(t *testing.T) {
+	speech := newFakeApp("speech", 4)
+	video := newFakeApp("video", 4)
+	k, v, em := rig(1, 1000, 10.0, speech, video)
+	v.Apps()[0].SetExcluded(true)
+	em.SetGoal(500 * time.Second)
+	em.Start()
+	k.At(10*time.Second, func() { em.Stop() })
+	k.Run(11 * time.Second)
+	if len(speech.changes) != 0 {
+		t.Fatalf("excluded app received upcalls: %v", speech.changes)
+	}
+	if len(video.changes) == 0 || video.level != 0 {
+		t.Fatalf("degradation did not fall to the surviving app (level %d, changes %v)",
+			video.level, video.changes)
+	}
+}
+
+// TestBudgetSharesReallocation: shares are priority-weighted over the
+// non-excluded registrations, excluding an app reallocates its weight to the
+// survivors, and ReallocateBudget traces the new division.
+func TestBudgetSharesReallocation(t *testing.T) {
+	a := newFakeApp("a", 2)
+	b := newFakeApp("b", 2)
+	c := newFakeApp("c", 2)
+	k, v, em := rig(1, 1000, 1.0, a, b, c) // priorities 1, 2, 3
+	shares := em.BudgetShares()
+	for name, want := range map[string]float64{"a": 1.0 / 6, "b": 2.0 / 6, "c": 3.0 / 6} {
+		if math.Abs(shares[name]-want) > 1e-12 {
+			t.Fatalf("share[%s] = %v, want %v", name, shares[name], want)
+		}
+	}
+	v.Apps()[0].SetExcluded(true)
+	em.Events = trace.NewLog(k.Now, 100)
+	em.ReallocateBudget("a")
+	shares = em.BudgetShares()
+	for name, want := range map[string]float64{"a": 0, "b": 0.4, "c": 0.6} {
+		if math.Abs(shares[name]-want) > 1e-12 {
+			t.Fatalf("share[%s] = %v after exclusion, want %v", name, shares[name], want)
+		}
+	}
+	if n := len(em.Events.Filter(trace.CatSupervise, "")); n != 3 {
+		t.Fatalf("reallocation traced %d supervise events, want 3 (1 reallocation + 2 shares)", n)
+	}
+}

@@ -354,12 +354,17 @@ func (em *EnergyMonitor) evaluate() {
 }
 
 // degradeOne lowers the fidelity of the lowest-priority application that is
-// not already at its minimum. It reports whether any change was made.
+// not already at its minimum, skipping excluded registrations (restarting or
+// quarantined applications cannot act on the upcall). It reports whether any
+// change was directed.
 func (em *EnergyMonitor) degradeOne() bool {
 	for _, r := range em.v.byPriority() {
+		if r.Excluded() {
+			continue
+		}
 		lvl := r.App.Level()
 		if lvl > 0 {
-			r.App.SetLevel(clampLevel(r.App, lvl-1))
+			em.v.deliverSetLevel(r, clampLevel(r.App, lvl-1))
 			r.Adaptations++
 			em.degrades++
 			if em.Events != nil {
@@ -377,9 +382,12 @@ func (em *EnergyMonitor) upgradeOne() bool {
 	prio := em.v.byPriority()
 	for i := len(prio) - 1; i >= 0; i-- {
 		r := prio[i]
+		if r.Excluded() {
+			continue
+		}
 		lvl := r.App.Level()
 		if lvl < len(r.App.Levels())-1 {
-			r.App.SetLevel(clampLevel(r.App, lvl+1))
+			em.v.deliverSetLevel(r, clampLevel(r.App, lvl+1))
 			r.Adaptations++
 			em.upgrades++
 			if em.Events != nil {

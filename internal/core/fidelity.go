@@ -34,7 +34,20 @@ type Registration struct {
 
 	// Adaptations counts fidelity changes directed by the viceroy.
 	Adaptations int
+
+	// excluded removes the registration from adaptation decisions without
+	// deregistering it. The supervision plane excludes an application
+	// while it is being restarted or after quarantine: directing upcalls
+	// at a dead process "succeeds" without effect, so the monitor would
+	// otherwise loop on it forever and never degrade the live ones.
+	excluded bool
 }
+
+// SetExcluded marks the registration in or out of adaptation decisions.
+func (r *Registration) SetExcluded(v bool) { r.excluded = v }
+
+// Excluded reports whether the monitor is skipping this registration.
+func (r *Registration) Excluded() bool { return r.excluded }
 
 // clampLevel bounds lvl to the app's valid range.
 func clampLevel(app Adaptive, lvl int) int {

@@ -19,6 +19,42 @@ type Viceroy struct {
 	wardens map[string]Warden
 
 	resources map[string]*resource
+
+	deliverer UpcallDeliverer
+}
+
+// UpcallDeliverer intercepts viceroy-to-application upcalls. The supervision
+// plane (internal/supervise) installs one to wrap every upcall in a
+// virtual-clock watchdog; with no deliverer installed, upcalls go straight
+// to the application exactly as they always have.
+type UpcallDeliverer interface {
+	// DeliverSetLevel delivers the fidelity upcall r.App.SetLevel(level).
+	DeliverSetLevel(r *Registration, level int)
+	// DeliverExpectation delivers the resource-expectation upcall
+	// e.Upcall(avail).
+	DeliverExpectation(e *Expectation, avail float64)
+}
+
+// SetDeliverer installs (or, with nil, removes) the upcall deliverer.
+func (v *Viceroy) SetDeliverer(d UpcallDeliverer) { v.deliverer = d }
+
+// deliverSetLevel routes a fidelity upcall through the deliverer when one is
+// installed, and directly to the application otherwise.
+func (v *Viceroy) deliverSetLevel(r *Registration, level int) {
+	if v.deliverer != nil {
+		v.deliverer.DeliverSetLevel(r, level)
+		return
+	}
+	r.App.SetLevel(level)
+}
+
+// deliverExpectation routes an expectation upcall the same way.
+func (v *Viceroy) deliverExpectation(e *Expectation, avail float64) {
+	if v.deliverer != nil {
+		v.deliverer.DeliverExpectation(e, avail)
+		return
+	}
+	e.Upcall(avail)
 }
 
 // resource is a named, scalar resource level with registered expectations.
@@ -36,11 +72,26 @@ type Expectation struct {
 	Low      float64
 	High     float64
 	Upcall   func(avail float64)
-	active   bool
+	// Owner optionally names the application the expectation belongs to,
+	// so the supervision plane can attribute the upcall. Set it after
+	// Request returns (delivery is always deferred to a scheduled event,
+	// so the assignment happens first).
+	Owner string
+
+	active bool
+	// cancelled distinguishes an application's Cancel from consumption by
+	// the notify-once protocol: UpdateResource clears active itself when
+	// it schedules delivery, so the fire path cannot use active to honor
+	// a Cancel issued between scheduling and delivery.
+	cancelled bool
 }
 
-// Cancel deregisters the expectation.
-func (e *Expectation) Cancel() { e.active = false }
+// Cancel deregisters the expectation. A cancelled expectation never fires,
+// even if notification was already scheduled.
+func (e *Expectation) Cancel() {
+	e.active = false
+	e.cancelled = true
+}
 
 // NewViceroy returns an empty viceroy on k.
 func NewViceroy(k *sim.Kernel) *Viceroy {
@@ -98,11 +149,14 @@ func (v *Viceroy) byPriority() []*Registration {
 	return out
 }
 
-// DeclareResource creates (or returns) a named resource with the given
-// initial availability.
+// DeclareResource creates a named resource with the given initial
+// availability. Re-declaring an existing resource is an availability change
+// like any other: it routes through UpdateResource so expectations whose
+// windows no longer contain the new level are notified rather than silently
+// missing the transition.
 func (v *Viceroy) DeclareResource(name string, avail float64) {
-	if r, ok := v.resources[name]; ok {
-		r.avail = avail
+	if _, ok := v.resources[name]; ok {
+		v.UpdateResource(name, avail)
 		return
 	}
 	v.resources[name] = &resource{name: name, avail: avail}
@@ -130,8 +184,8 @@ func (v *Viceroy) Request(resourceName string, low, high float64, upcall func(av
 	if r.avail < low || r.avail > high {
 		avail := r.avail
 		v.k.After(0, func() {
-			if e.active {
-				e.Upcall(avail)
+			if e.active && !e.cancelled {
+				v.deliverExpectation(e, avail)
 			}
 		})
 	}
@@ -167,6 +221,11 @@ func (v *Viceroy) UpdateResource(name string, avail float64) {
 	r.exps = keep
 	for _, e := range fire {
 		e := e
-		v.k.After(0, func() { e.Upcall(avail) })
+		v.k.After(0, func() {
+			if e.cancelled {
+				return
+			}
+			v.deliverExpectation(e, avail)
+		})
 	}
 }

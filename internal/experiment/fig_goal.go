@@ -11,6 +11,7 @@ import (
 	"odyssey/internal/power"
 	"odyssey/internal/smartbattery"
 	"odyssey/internal/stats"
+	"odyssey/internal/supervise"
 	"odyssey/internal/trace"
 	"odyssey/internal/workload"
 )
@@ -71,6 +72,18 @@ type GoalOptions struct {
 	// RecordEvents attaches a trace log (adaptations, monitor decisions,
 	// fault events) returned in GoalResult.Events.
 	RecordEvents bool
+	// Supervise arms the application supervision plane: every upcall is
+	// delivered through the watchdog, the periodic health audit runs, and
+	// misbehaving applications are restarted or quarantined. When false the
+	// viceroy's direct delivery path is byte-identical to an unsupervised
+	// build.
+	Supervise bool
+	// SuperviseConfig overrides supervisor parameters (zero = defaults).
+	SuperviseConfig supervise.Config
+	// Misbehave, if set (and typically with Supervise), builds an
+	// application-misbehavior fault plan against the trial's apps. It
+	// starts with the workload and is stopped when the run finishes.
+	Misbehave func(apps *workload.Apps, seed int64) *faults.Plan
 }
 
 // GoalResult is the outcome of one goal-directed run.
@@ -100,6 +113,14 @@ type GoalResult struct {
 	FaultCounts    map[string]int
 	// Events is the run's trace log when RecordEvents was set.
 	Events *trace.Log
+
+	// Supervision observables (zero when the supervisor is disarmed).
+	SuperviseEnergy float64        // joules attributed to the supervise principal
+	MissedAcks      int            // upcall watchdogs that fired
+	Restarts        int            // application restarts performed
+	Quarantined     []string       // applications quarantined, in order
+	Strikes         map[string]int // strikes by cause (crash/hang/thrash/lie)
+	BudgetShares    map[string]float64
 }
 
 // fidelityAverager accumulates time-weighted fidelity levels.
@@ -196,11 +217,26 @@ func RunGoal(opt GoalOptions) GoalResult {
 		res.Events = trace.NewLog(rig.K.Now, 0)
 		em.Events = res.Events
 	}
+	var sup *supervise.Supervisor
+	if opt.Supervise {
+		sup = supervise.New(rig.K, rig.V, em, rig.M.Acct, rig.M.CPU, opt.SuperviseConfig, opt.Seed)
+		sup.Log = res.Events
+		apps.Supervise(sup, regs)
+		rig.V.SetDeliverer(sup)
+		sup.Start()
+	}
 	var plan *faults.Plan
 	if opt.Faults != nil {
 		if plan = opt.Faults(rig, bat, opt.Seed); plan != nil {
 			plan.Log = res.Events
 			plan.Start()
+		}
+	}
+	var misPlan *faults.Plan
+	if opt.Misbehave != nil {
+		if misPlan = opt.Misbehave(apps, opt.Seed); misPlan != nil {
+			misPlan.Log = res.Events
+			misPlan.Start()
 		}
 	}
 	avg := newFidelityAverager(regs)
@@ -231,8 +267,14 @@ func RunGoal(opt GoalOptions) GoalResult {
 		res.Met = met
 		res.Residual = residual()
 		res.EndTime = rig.K.Now()
+		if misPlan != nil {
+			misPlan.Stop()
+		}
 		if plan != nil {
 			plan.Stop()
+		}
+		if sup != nil {
+			sup.Stop()
 		}
 		em.Stop()
 		rig.K.Stop()
@@ -283,6 +325,24 @@ func RunGoal(opt GoalOptions) GoalResult {
 	if plan != nil {
 		res.FaultEvents = plan.TotalEvents()
 		_, res.FaultCounts = plan.Counts()
+	}
+	if misPlan != nil {
+		res.FaultEvents += misPlan.TotalEvents()
+		if res.FaultCounts == nil {
+			res.FaultCounts = make(map[string]int)
+		}
+		_, mc := misPlan.Counts()
+		for k, v := range mc {
+			res.FaultCounts[k] += v
+		}
+	}
+	if sup != nil {
+		res.SuperviseEnergy = rig.M.Acct.EnergyByPrincipal()[supervise.Principal]
+		res.MissedAcks = sup.MissedAcks()
+		res.Restarts = sup.Restarts()
+		res.Quarantined = sup.Quarantined()
+		res.Strikes = sup.Strikes()
+		res.BudgetShares = em.BudgetShares()
 	}
 	return res
 }

@@ -1,0 +1,194 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"odyssey/internal/faults"
+	"odyssey/internal/stats"
+	"odyssey/internal/workload"
+)
+
+// MisbehaveBuilder constructs one trial's application-misbehavior plan
+// against its freshly built applications.
+type MisbehaveBuilder func(apps *workload.Apps, seed int64) *faults.Plan
+
+// MisbehaveSeverities lists the escalating misbehavior ladders, benign
+// first. "none" arms the supervisor over a well-behaved workload (the
+// overhead arm); "mid" is the acceptance bar: the speech recognizer
+// crash-loops until its retry budget is spent and it is quarantined, while
+// the survivors absorb hangs, thrash, and consumption lies and the
+// battery-duration goal is still met.
+var MisbehaveSeverities = []string{"none", "mild", "mid", "severe"}
+
+// MisbehavePlanByName returns the misbehavior builder for a severity name.
+// The builder for "none" returns nil (no misbehavior); unknown names report
+// ok=false.
+func MisbehavePlanByName(name string) (b MisbehaveBuilder, ok bool) {
+	switch name {
+	case "none":
+		return func(*workload.Apps, int64) *faults.Plan { return nil }, true
+	case "mild":
+		return misMildPlan, true
+	case "mid":
+		return misMidPlan, true
+	case "severe":
+		return misSeverePlan, true
+	}
+	return nil, false
+}
+
+// misSeed decorrelates misbehavior timing from both the workload's kernel
+// stream and the network fault plane's (which uses +97).
+func misSeed(seed int64) int64 { return seed*2654435761 + 211 }
+
+// misMildPlan: occasional hang windows on the map viewer and rare defiant
+// re-raises from the browser — misbehavior the restart path absorbs without
+// ever exhausting a retry budget.
+func misMildPlan(apps *workload.Apps, seed int64) *faults.Plan {
+	pl := faults.NewPlan(apps.Rig.K, "mild-misbehave", misSeed(seed))
+	pl.Add(
+		&faults.AppHang{App: apps.Map, Health: &apps.Map.Health,
+			MeanOK: 6 * time.Minute, MeanHang: 15 * time.Second, MaxHang: 30 * time.Second},
+		&faults.AppThrash{App: apps.Web, Health: &apps.Web.Health,
+			MeanCalm: 10 * time.Minute, MeanThrash: 30 * time.Second},
+	)
+	return pl
+}
+
+// misMidPlan is the acceptance-bar ladder: the speech recognizer
+// crash-loops with a ~2-minute mean uptime — enough deaths in a 26-minute
+// run to exhaust its restart budget and force quarantine — while the map
+// viewer hangs, the browser defies degradation, and the video player opens
+// windows in which it streams two tracks above its reported level, at rates
+// the restart path contains without a second quarantine.
+func misMidPlan(apps *workload.Apps, seed int64) *faults.Plan {
+	pl := faults.NewPlan(apps.Rig.K, "mid-misbehave", misSeed(seed))
+	pl.Add(
+		&faults.AppCrash{App: apps.Speech, Health: &apps.Speech.Health,
+			MeanUp: 2 * time.Minute},
+		&faults.AppHang{App: apps.Map, Health: &apps.Map.Health,
+			MeanOK: 5 * time.Minute, MeanHang: 20 * time.Second, MaxHang: 45 * time.Second},
+		&faults.AppThrash{App: apps.Web, Health: &apps.Web.Health,
+			MeanCalm: 9 * time.Minute, MeanThrash: 40 * time.Second},
+		&faults.AppLie{App: apps.Video, Health: &apps.Video.Health,
+			MeanOK: 15 * time.Minute, MeanLie: 40 * time.Second, Delta: 2},
+	)
+	return pl
+}
+
+// misSeverePlan: the stress arm — fast crash-loops, long hangs, frequent
+// thrash, and large consumption lies on every front at once.
+func misSeverePlan(apps *workload.Apps, seed int64) *faults.Plan {
+	pl := faults.NewPlan(apps.Rig.K, "severe-misbehave", misSeed(seed))
+	pl.Add(
+		&faults.AppCrash{App: apps.Speech, Health: &apps.Speech.Health,
+			MeanUp: 2 * time.Minute},
+		&faults.AppHang{App: apps.Map, Health: &apps.Map.Health,
+			MeanOK: 3 * time.Minute, MeanHang: 30 * time.Second, MaxHang: 60 * time.Second},
+		&faults.AppThrash{App: apps.Web, Health: &apps.Web.Health,
+			MeanCalm: 3 * time.Minute, MeanThrash: 60 * time.Second, Period: time.Second},
+		&faults.AppLie{App: apps.Video, Health: &apps.Video.Health,
+			MeanOK: 3 * time.Minute, MeanLie: 60 * time.Second, Delta: 3},
+	)
+	return pl
+}
+
+// supervisionGoal reuses the resilience scenario: the hard 26-minute goal
+// on the Figure 20 supply, where a misbehaving application that escapes
+// containment has the least slack to hide in.
+const supervisionGoal = resilienceGoal
+
+// RunSupervisionTrial runs the goal scenario with the supervisor armed
+// under the named misbehavior ladder.
+func RunSupervisionTrial(severity string, seed int64) GoalResult {
+	builder, ok := MisbehavePlanByName(severity)
+	if !ok {
+		//odylint:allow panicfree experiment misconfiguration; caller passes a known severity
+		panic(fmt.Sprintf("experiment: unknown misbehavior severity %q", severity))
+	}
+	return RunGoal(GoalOptions{
+		Seed:          seed,
+		InitialEnergy: Figure20InitialEnergy,
+		Goal:          supervisionGoal,
+		Supervise:     true,
+		Misbehave:     builder,
+	})
+}
+
+// SupervisionRow aggregates trials for one misbehavior severity.
+type SupervisionRow struct {
+	Severity        string
+	MetPct          float64
+	Residual        stats.Summary
+	SuperviseEnergy stats.Summary // joules charged to the supervise principal
+	MissedAcks      stats.Summary
+	Restarts        stats.Summary
+	Quarantined     stats.Summary // applications quarantined per run
+	Strikes         stats.Summary // total strikes across causes
+	FaultEvents     stats.Summary
+}
+
+// FigureSupervision runs the misbehavior ladder on the goal scenario with
+// the supervisor armed, trials runs per severity.
+func FigureSupervision(trials int) []SupervisionRow {
+	rows := make([]SupervisionRow, 0, len(MisbehaveSeverities))
+	for si, sev := range MisbehaveSeverities {
+		row := SupervisionRow{Severity: sev}
+		var (
+			met                            int
+			residual, supJ, acks, restarts []float64
+			quarantined, strikes, events   []float64
+		)
+		for t := 0; t < trials; t++ {
+			r := RunSupervisionTrial(sev, int64(2600+si*31+t))
+			if r.Met {
+				met++
+			}
+			total := 0
+			for _, n := range r.Strikes {
+				total += n
+			}
+			residual = append(residual, r.Residual)
+			supJ = append(supJ, r.SuperviseEnergy)
+			acks = append(acks, float64(r.MissedAcks))
+			restarts = append(restarts, float64(r.Restarts))
+			quarantined = append(quarantined, float64(len(r.Quarantined)))
+			strikes = append(strikes, float64(total))
+			events = append(events, float64(r.FaultEvents))
+		}
+		row.MetPct = float64(met) / float64(trials) * 100
+		row.Residual = stats.Summarize(residual)
+		row.SuperviseEnergy = stats.Summarize(supJ)
+		row.MissedAcks = stats.Summarize(acks)
+		row.Restarts = stats.Summarize(restarts)
+		row.Quarantined = stats.Summarize(quarantined)
+		row.Strikes = stats.Summarize(strikes)
+		row.FaultEvents = stats.Summarize(events)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// SupervisionTable renders the misbehavior-ladder results.
+func SupervisionTable(rows []SupervisionRow) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Supervision: %d-minute goal under escalating application misbehavior (supply %.0f J, supervisor armed)",
+			int(supervisionGoal.Minutes()), Figure20InitialEnergy),
+		Columns: []string{"Plan", "Met", "Residual (J)", "Supervise (J)", "Missed acks", "Restarts", "Quarantined", "Strikes", "Fault events"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Severity,
+			fmt.Sprintf("%.0f%%", r.MetPct),
+			r.Residual.String(),
+			r.SuperviseEnergy.String(),
+			r.MissedAcks.String(),
+			r.Restarts.String(),
+			r.Quarantined.String(),
+			r.Strikes.String(),
+			r.FaultEvents.String(),
+		})
+	}
+	return t
+}

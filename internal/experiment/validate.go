@@ -146,6 +146,30 @@ func Validate(trials int) []ValidationResult {
 	add(check("resilience-retry", "mean retry energy attributed (J, nonzero)", 1, 1e9,
 		rretry, rretry, 0, "net-retry principal in PowerScope"))
 
+	// Supervision: this repo's acceptance bar for the application
+	// supervision plane — under the mid misbehavior ladder the supervisor
+	// must quarantine the crash-looping recognizer, reallocate its budget,
+	// and still meet the 26-minute goal with low residue, with the restart
+	// and delivery work visible under the supervise principal.
+	sn := min(trials, 3)
+	smet, sworst, senergy := 0.0, 0.0, 0.0
+	for t := 0; t < sn; t++ {
+		r := RunSupervisionTrial("mid", int64(2662+t))
+		if r.Met && len(r.Quarantined) >= 1 {
+			smet += 1 / float64(sn)
+		}
+		if f := r.Residual / Figure20InitialEnergy; f > sworst {
+			sworst = f
+		}
+		senergy += r.SuperviseEnergy / float64(sn)
+	}
+	add(check("supervision-met", "26-min goal met with misbehaving app quarantined", 1.0, 1.0,
+		smet, smet, 0, "mid misbehavior ladder"))
+	add(check("supervision-residual", "worst residual fraction under mid misbehavior", 0.0, 0.02,
+		sworst, sworst, 0, ""))
+	add(check("supervision-energy", "mean restart/delivery energy attributed (J, nonzero)", 1, 1e9,
+		senergy, senergy, 0, "supervise principal in PowerScope"))
+
 	return out
 }
 

@@ -1,0 +1,155 @@
+package faults_test
+
+import (
+	"testing"
+	"time"
+
+	"odyssey/internal/faults"
+	"odyssey/internal/sim"
+	"odyssey/internal/supervise"
+	"odyssey/internal/trace"
+)
+
+type fakeAdaptive struct {
+	name   string
+	level  int
+	Health supervise.AppHealth
+}
+
+func (f *fakeAdaptive) Name() string     { return f.name }
+func (f *fakeAdaptive) Levels() []string { return []string{"a", "b", "c", "d"} }
+func (f *fakeAdaptive) Level() int       { return f.level }
+func (f *fakeAdaptive) SetLevel(l int)   { f.level = l }
+
+// TestAppCrashKillsOnceAndStopRevives: the crash injector kills a live
+// process, never re-kills a dead one (revival is the supervisor's job), and
+// Stop's cleanup revives it.
+func TestAppCrashKillsOnceAndStopRevives(t *testing.T) {
+	k := sim.NewKernel(3)
+	app := &fakeAdaptive{name: "a", level: 3}
+	pl := faults.NewPlan(k, "t", 7)
+	pl.Log = trace.NewLog(k.Now, 0)
+	cr := &faults.AppCrash{App: app, Health: &app.Health, MeanUp: 10 * time.Second}
+	pl.Add(cr)
+	pl.Start()
+	k.At(5*time.Minute, func() { k.Stop() })
+	k.Run(0)
+	if cr.Kills() != 1 {
+		t.Fatalf("kills %d with nobody reviving the process, want exactly 1", cr.Kills())
+	}
+	if app.Health.Alive() {
+		t.Fatal("process alive after kill")
+	}
+	pl.Stop()
+	if !app.Health.Alive() {
+		t.Fatal("Stop did not revive the process")
+	}
+}
+
+// TestAppHangWindowsToggle: hang windows open and close on the plan's RNG
+// and Stop unsticks a hung process.
+func TestAppHangWindowsToggle(t *testing.T) {
+	k := sim.NewKernel(3)
+	app := &fakeAdaptive{name: "a", level: 3}
+	pl := faults.NewPlan(k, "t", 7)
+	pl.Log = trace.NewLog(k.Now, 0)
+	hg := &faults.AppHang{App: app, Health: &app.Health,
+		MeanOK: 20 * time.Second, MeanHang: 5 * time.Second, MaxHang: 10 * time.Second}
+	pl.Add(hg)
+	pl.Start()
+	k.At(5*time.Minute, func() { k.Stop() })
+	k.Run(0)
+	if hg.Hangs() < 2 {
+		t.Fatalf("hangs %d in 5 minutes of 20 s mean uptime", hg.Hangs())
+	}
+	if got := len(pl.Log.Filter(trace.CatFault, hg.Name())); got < 2*hg.Hangs()-1 {
+		t.Fatalf("%d logged events for %d hang windows; want begin+end pairs", got, hg.Hangs())
+	}
+	pl.Stop()
+	if app.Health.Hung() {
+		t.Fatal("Stop left the process hung")
+	}
+}
+
+// TestAppThrashReRaisesAndResetSilences: during a window the pulse loop
+// re-raises a degraded app to maximum; a restart (Health.Reset) silences the
+// pulses until the next window.
+func TestAppThrashReRaisesAndResetSilences(t *testing.T) {
+	k := sim.NewKernel(3)
+	app := &fakeAdaptive{name: "a", level: 0}
+	pl := faults.NewPlan(k, "t", 7)
+	th := &faults.AppThrash{App: app, Health: &app.Health,
+		MeanCalm: time.Second, MeanThrash: time.Hour, Period: time.Second}
+	pl.Add(th)
+	pl.Start()
+	k.At(30*time.Second, func() { k.Stop() })
+	k.Run(0)
+	if th.Raises() == 0 {
+		t.Fatal("no defiant re-raises during a thrash window")
+	}
+	if app.level != 3 {
+		t.Fatalf("level %d during thrash window, want re-raised to 3", app.level)
+	}
+	// A restart clears the thrashing flag; the degraded level then sticks.
+	app.Health.Reset()
+	app.level = 0
+	raised := th.Raises()
+	k.At(k.Now()+10*time.Second, func() { k.Stop() })
+	k.Run(0)
+	if th.Raises() != raised {
+		t.Fatalf("pulse loop re-raised after restart cleared the flag (%d -> %d)",
+			raised, th.Raises())
+	}
+	pl.Stop()
+}
+
+// TestAppLieShiftsEffectiveLevelOnly: a lie window changes the level
+// operations run at, not the level the application reports.
+func TestAppLieShiftsEffectiveLevelOnly(t *testing.T) {
+	k := sim.NewKernel(3)
+	app := &fakeAdaptive{name: "a", level: 1}
+	pl := faults.NewPlan(k, "t", 7)
+	li := &faults.AppLie{App: app, Health: &app.Health,
+		MeanOK: time.Second, MeanLie: time.Hour, Delta: 2}
+	pl.Add(li)
+	pl.Start()
+	k.At(30*time.Second, func() { k.Stop() })
+	k.Run(0)
+	if li.Lies() == 0 {
+		t.Fatal("no lie window opened")
+	}
+	if app.Level() != 1 {
+		t.Fatalf("reported level %d changed by lie window, want 1", app.Level())
+	}
+	if got := app.Health.EffectiveLevel(app.Level(), 3); got != 3 {
+		t.Fatalf("effective level %d during Delta-2 lie at report 1, want 3 (clamped)", got)
+	}
+	pl.Stop()
+	if app.Health.LieDelta() != 0 {
+		t.Fatal("Stop did not restore honesty")
+	}
+}
+
+// TestMisbehaveDeterministicAcrossRuns: the same seed reproduces the same
+// misbehavior schedule event for event.
+func TestMisbehaveDeterministicAcrossRuns(t *testing.T) {
+	run := func() string {
+		k := sim.NewKernel(5)
+		app := &fakeAdaptive{name: "a", level: 3}
+		pl := faults.NewPlan(k, "t", 99)
+		pl.Log = trace.NewLog(k.Now, 0)
+		pl.Add(
+			&faults.AppCrash{App: app, Health: &app.Health, MeanUp: 30 * time.Second},
+			&faults.AppHang{App: app, Health: &app.Health,
+				MeanOK: 20 * time.Second, MeanHang: 5 * time.Second, MaxHang: 10 * time.Second},
+		)
+		pl.Start()
+		k.At(5*time.Minute, func() { k.Stop() })
+		k.Run(0)
+		pl.Stop()
+		return pl.Log.Text()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same-seed misbehavior traces differ:\n%s\n---\n%s", a, b)
+	}
+}

@@ -34,6 +34,7 @@ var detrandPackages = []string{
 	"internal/app",
 	"internal/smartbattery",
 	"internal/faults",
+	"internal/supervise",
 }
 
 // detrandForbidden maps package path -> forbidden member -> short reason.

@@ -21,6 +21,8 @@
 //     the three blessed functions (transfer, park, Spawn).
 //   - panicfree:  flags panic in library code (cmd/ and examples/ exempt).
 //   - droppederr: flags silently discarded error returns.
+//   - upcallsync: forbids re-entering Viceroy.UpdateResource synchronously
+//     from inside an upcall handler in the deterministic packages.
 //
 // A diagnostic can be suppressed, with justification, by an
 // "//odylint:allow <analyzer>" comment on or directly above the offending
@@ -61,6 +63,7 @@ func All() []*Analyzer {
 		Kernelctx,
 		Panicfree,
 		Droppederr,
+		Upcallsync,
 	}
 }
 

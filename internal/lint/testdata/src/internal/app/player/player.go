@@ -1,0 +1,45 @@
+// Package player exercises the upcallsync rule: upcall handlers in the
+// deterministic packages must not re-enter Viceroy.UpdateResource while the
+// delivering walk is still on the stack.
+package player
+
+import "fixture/internal/core"
+
+// Player mirrors an adaptive application: the viceroy delivers fidelity
+// directives through SetLevel.
+type Player struct {
+	v     *core.Viceroy
+	level int
+}
+
+// SetLevel is an upcall handler that re-enters the viceroy synchronously:
+// flagged.
+func (p *Player) SetLevel(level int) {
+	p.level = level
+	p.v.UpdateResource("network", level) // want: upcallsync
+}
+
+// Upcall is the expectation-handler spelling of the same hazard: flagged.
+func (p *Player) Upcall(avail int) {
+	p.v.UpdateResource("network", avail) // want: upcallsync
+}
+
+// Refresh is not an upcall handler; calling UpdateResource here is the
+// ordinary, allowed path.
+func (p *Player) Refresh(level int) {
+	p.v.UpdateResource("network", level)
+}
+
+// SetLevelDeferred shows the sanctioned shape: the handler hands the update
+// to a fresh event (a function literal run after the walk unwinds).
+type Deferred struct {
+	v        *core.Viceroy
+	schedule func(func())
+}
+
+// SetLevel defers the re-entry to a scheduled callback: allowed.
+func (d *Deferred) SetLevel(level int) {
+	d.schedule(func() {
+		d.v.UpdateResource("network", level)
+	})
+}

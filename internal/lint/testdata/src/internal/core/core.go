@@ -1,0 +1,17 @@
+// Package core is a fixture stand-in for the real viceroy: just enough
+// surface for the upcallsync rule to resolve Viceroy.UpdateResource.
+package core
+
+// Viceroy mirrors the real type's name so the rule's receiver check binds.
+type Viceroy struct {
+	levels map[string]int
+}
+
+// UpdateResource is the re-entrancy hazard: it walks and mutates the
+// viceroy's tables, so upcall handlers must not call it synchronously.
+func (v *Viceroy) UpdateResource(name string, level int) {
+	if v.levels == nil {
+		v.levels = map[string]int{}
+	}
+	v.levels[name] = level
+}

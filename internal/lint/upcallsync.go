@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Upcallsync forbids re-entering the viceroy from inside an upcall handler.
+// The viceroy delivers fidelity and expectation upcalls while walking its
+// own registration and expectation tables; a handler that calls
+// Viceroy.UpdateResource synchronously re-enters those walks mid-iteration
+// and mutates the tables under the caller's feet — the same hazard class as
+// the deferred-upcall cancellation race. Handlers that need to report a
+// resource change must defer it to a fresh kernel event (Kernel.After) so
+// the update runs after the delivering walk has unwound.
+var Upcallsync = &Analyzer{
+	Name: "upcallsync",
+	Doc:  "forbid synchronous Viceroy.UpdateResource calls inside upcall handlers in deterministic packages",
+	Run:  runUpcallsync,
+}
+
+// upcallHandlerNames are the method names the viceroy invokes as upcalls:
+// SetLevel on core.Adaptive implementations and Upcall on expectation
+// receivers.
+var upcallHandlerNames = map[string]bool{
+	"SetLevel": true,
+	"Upcall":   true,
+}
+
+func runUpcallsync(pass *Pass) {
+	if !inAnyPackage(pass.Pkg.Path, detrandPackages) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || !upcallHandlerNames[fn.Name.Name] {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit, *ast.GoStmt:
+					// A call inside a function literal or goroutine is not
+					// synchronous with the delivering walk.
+					return false
+				case *ast.CallExpr:
+					sel, ok := n.Fun.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "UpdateResource" {
+						return true
+					}
+					if !isViceroyMethod(pass, sel) {
+						return true
+					}
+					pass.Reportf(n.Pos(),
+						"Viceroy.UpdateResource called synchronously from upcall handler %s in deterministic package %s: defer it to a fresh kernel event",
+						fn.Name.Name, pass.Pkg.Path)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isViceroyMethod reports whether sel selects a method of internal/core's
+// Viceroy type.
+func isViceroyMethod(pass *Pass, sel *ast.SelectorExpr) bool {
+	s := pass.Pkg.Info.Selections[sel]
+	if s == nil {
+		return false
+	}
+	obj := s.Obj()
+	if obj == nil || obj.Pkg() == nil || !containsSegment(obj.Pkg().Path(), "internal/core") {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Viceroy"
+}

@@ -1,0 +1,68 @@
+package supervise
+
+// AppHealth is the misbehavior surface of one application process: the
+// fault plane (internal/faults) flips these bits to make the app crash,
+// hang, thrash, or lie, the application model consults them at its
+// operation boundaries, and the supervisor observes their consequences
+// (never the bits themselves — detection goes through missed acks, level
+// audits, and PowerScope attribution, exactly as it would have to on real
+// hardware). The zero value is a healthy application. Applications embed
+// one as an exported Health field.
+type AppHealth struct {
+	crashed   bool
+	hung      bool
+	thrashing bool
+	lieDelta  int
+}
+
+// Alive reports whether the application process exists. Operations of a
+// dead process are no-ops and its upcalls never acknowledge.
+func (h *AppHealth) Alive() bool { return !h.crashed }
+
+// SetCrashed kills (true) or revives (false) the application process.
+func (h *AppHealth) SetCrashed(v bool) { h.crashed = v }
+
+// Hung reports whether the process swallows upcalls: delivery neither
+// applies the new level nor acknowledges, so the watchdog fires.
+func (h *AppHealth) Hung() bool { return h.hung }
+
+// SetHung enters or leaves the hung state.
+func (h *AppHealth) SetHung(v bool) { h.hung = v }
+
+// Thrashing reports whether the application defies degradation by
+// re-raising its own fidelity (the behavior lives in the thrash injector's
+// pulse loop; this flag is what a restart clears to stop it).
+func (h *AppHealth) Thrashing() bool { return h.thrashing }
+
+// SetThrashing enters or leaves the thrashing state.
+func (h *AppHealth) SetThrashing(v bool) { h.thrashing = v }
+
+// LieDelta is the gap between the level the application reports and the
+// level it actually operates at (positive: it consumes above its report).
+func (h *AppHealth) LieDelta() int { return h.lieDelta }
+
+// SetLieDelta sets the reported-versus-actual gap.
+func (h *AppHealth) SetLieDelta(d int) { h.lieDelta = d }
+
+// EffectiveLevel maps the application's reported level to the level its
+// operations actually run at, clamped to [0, max]. Honest applications
+// (zero delta) operate exactly as reported.
+func (h *AppHealth) EffectiveLevel(reported, max int) int {
+	l := reported + h.lieDelta
+	if l < 0 {
+		return 0
+	}
+	if l > max {
+		return max
+	}
+	return l
+}
+
+// Reset restores a freshly restarted process to health: the new process
+// image carries none of the old one's crash, hang, thrash, or lie state.
+func (h *AppHealth) Reset() {
+	h.crashed = false
+	h.hung = false
+	h.thrashing = false
+	h.lieDelta = 0
+}

@@ -20,12 +20,13 @@ type Category string
 
 // Standard categories.
 const (
-	CatAdapt    Category = "adapt"    // fidelity upcalls
-	CatDevice   Category = "device"   // power-state transitions
-	CatOp       Category = "op"       // application operations
-	CatMonitor  Category = "monitor"  // energy-monitor decisions
-	CatResource Category = "resource" // viceroy resource updates
-	CatFault    Category = "fault"    // injected failures (outages, crashes, dropouts)
+	CatAdapt     Category = "adapt"     // fidelity upcalls
+	CatDevice    Category = "device"    // power-state transitions
+	CatOp        Category = "op"        // application operations
+	CatMonitor   Category = "monitor"   // energy-monitor decisions
+	CatResource  Category = "resource"  // viceroy resource updates
+	CatFault     Category = "fault"     // injected failures (outages, crashes, dropouts)
+	CatSupervise Category = "supervise" // application supervision (watchdogs, restarts, quarantine)
 )
 
 // Event is one timestamped observation.

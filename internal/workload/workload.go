@@ -16,6 +16,7 @@ import (
 	"odyssey/internal/app/web"
 	"odyssey/internal/core"
 	"odyssey/internal/sim"
+	"odyssey/internal/supervise"
 )
 
 // Priorities of the goal-directed experiments: "The applications are
@@ -75,6 +76,47 @@ func (a *Apps) Register() []*core.Registration {
 		v.RegisterApp(a.Video, PriorityVideo),
 		v.RegisterApp(a.Map, PriorityMap),
 		v.RegisterApp(a.Web, PriorityWeb),
+	}
+}
+
+// Health returns the named application's misbehavior surface, or nil for
+// an unknown name. Fault-plan builders use it to aim injectors.
+func (a *Apps) Health(name string) *supervise.AppHealth {
+	switch name {
+	case a.Speech.Name():
+		return &a.Speech.Health
+	case a.Video.Name():
+		return &a.Video.Health
+	case a.Map.Name():
+		return &a.Map.Health
+	case a.Web.Name():
+		return &a.Web.Health
+	}
+	return nil
+}
+
+// Supervise places every registration under the supervisor's watch, wiring
+// each application's health surface and — for the video player, whose
+// xanim principal is exclusively its own and whose workload is continuous —
+// the PowerScope fidelity-model profile that arms the lie audit. The other
+// applications share principals (X, odyssey) or run intermittently, so
+// model-based power auditing would be noise; they are watched for crashes,
+// hangs, and thrash only.
+func (a *Apps) Supervise(sup *supervise.Supervisor, regs []*core.Registration) {
+	for _, r := range regs {
+		switch app := r.App.(type) {
+		case *speech.Recognizer:
+			sup.Watch(r, &app.Health, supervise.Profile{})
+		case *video.Player:
+			sup.Watch(r, &app.Health, supervise.Profile{
+				Principal:     video.PrincipalXanim,
+				ExpectedPower: video.ExpectedPower,
+			})
+		case *mapview.Viewer:
+			sup.Watch(r, &app.Health, supervise.Profile{})
+		case *web.Browser:
+			sup.Watch(r, &app.Health, supervise.Profile{})
+		}
 	}
 }
 

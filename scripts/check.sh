@@ -20,7 +20,14 @@
 #                                          handling (seed corpus + 5s)
 #   8. odyssey-sim -figure resilience      smoke: the fault-injection plane
 #                                          end to end on one trial
-#   9. parallel/cache smoke                -parallel 4 under -race must be
+#   9. supervision smoke (-race)           the application-supervision plane
+#                                          end to end under the mid
+#                                          misbehavior ladder
+#  10. disarmed determinism gate           battery-goal with the supervisor
+#                                          disarmed must be byte-identical
+#                                          run to run and carry no trace of
+#                                          the supervision plane
+#  11. parallel/cache smoke                -parallel 4 under -race must be
 #                                          byte-identical to serial, and a
 #                                          warm-cache rerun must serve every
 #                                          cell from the cache
@@ -54,6 +61,21 @@ if [ "${1:-}" != "fast" ]; then
 
     echo "==> resilience smoke (odyssey-sim -figure resilience -trials 1)"
     go run ./cmd/odyssey-sim -figure resilience -trials 1
+
+    echo "==> supervision smoke (-race, mid misbehavior ladder)"
+    go run -race ./cmd/odyssey-sim -figure supervision -misbehave mid
+
+    echo "==> disarmed determinism gate (battery-goal, same seed, byte-identical)"
+    supdir=$(mktemp -d)
+    go run ./cmd/battery-goal -goal 26m -seed 7 > "$supdir/a.txt"
+    go run ./cmd/battery-goal -goal 26m -seed 7 > "$supdir/b.txt"
+    cmp "$supdir/a.txt" "$supdir/b.txt" || {
+        echo "FAIL: disarmed same-seed runs differ" >&2; rm -rf "$supdir"; exit 1; }
+    if grep -qi 'supervis' "$supdir/a.txt"; then
+        echo "FAIL: disarmed run mentions the supervision plane" >&2
+        rm -rf "$supdir"; exit 1
+    fi
+    rm -rf "$supdir"
 
     echo "==> parallel equivalence + warm-cache smoke (fig6, -race)"
     smokedir=$(mktemp -d)
