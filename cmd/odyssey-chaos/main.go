@@ -1,0 +1,172 @@
+// Command odyssey-chaos is the chaos soak harness: it generates randomized
+// adversarial scenarios against the simulated testbed, audits every run
+// with the invariant sentinel suite, shrinks failures to minimal
+// reproductions, and replays saved scenario files and the regression
+// corpus.
+//
+// Usage:
+//
+//	odyssey-chaos -soak 200 -seed 1 -shrink          # soak 200 scenarios
+//	odyssey-chaos -soak 30s -seed 1                  # soak for a wall-clock budget
+//	odyssey-chaos -scenario failing.json             # replay one scenario
+//	odyssey-chaos -corpus internal/chaos/testdata/corpus  # replay the corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"odyssey/internal/chaos"
+	"odyssey/internal/experiment"
+)
+
+func main() {
+	var (
+		soak     = flag.String("soak", "", "soak budget: a scenario count (e.g. 200) or a wall-clock duration (e.g. 30s)")
+		seed     = flag.Int64("seed", 1, "base seed; scenario i uses seed+i")
+		shrink   = flag.Bool("shrink", true, "minimize failing scenarios before reporting")
+		budget   = flag.Int("shrink-budget", 200, "max candidate runs per shrink")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the soak")
+		outDir   = flag.String("out", "chaos-failures", "directory for failing-scenario files")
+		scenario = flag.String("scenario", "", "replay one scenario file through the sentinel suite")
+		corpus   = flag.String("corpus", "", "replay every scenario in a corpus directory")
+		verbose  = flag.Bool("v", false, "per-scenario progress output")
+	)
+	flag.Parse()
+
+	experiment.SetParallelism(*parallel)
+
+	switch {
+	case *scenario != "":
+		os.Exit(replayFile(*scenario))
+	case *corpus != "":
+		os.Exit(replayCorpus(*corpus, *verbose))
+	case *soak != "":
+		os.Exit(runSoak(*soak, *seed, *shrink, *budget, *outDir))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// replayFile runs one saved scenario and reports its sentinel audit.
+func replayFile(path string) int {
+	sc, err := chaos.LoadScenario(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Printf("replaying %s\n", sc.Summary())
+	out, err := chaos.Run(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Println(out.Report.String())
+	if !out.Report.OK() {
+		return 1
+	}
+	return 0
+}
+
+// replayCorpus runs every corpus scenario, expecting all sentinels to pass
+// — the regression gate over previously-failing scenarios.
+func replayCorpus(dir string, verbose bool) int {
+	scs, paths, err := chaos.LoadCorpus(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if len(scs) == 0 {
+		fmt.Printf("corpus %s: no scenarios\n", dir)
+		return 0
+	}
+	failed := 0
+	for i, sc := range scs {
+		out, err := chaos.Run(sc)
+		switch {
+		case err != nil:
+			fmt.Printf("FAIL %s: %v\n", paths[i], err)
+			failed++
+		case !out.Report.OK():
+			fmt.Printf("FAIL %s\n%s\n", paths[i], out.Report.String())
+			failed++
+		case verbose:
+			fmt.Printf("ok   %s (%s)\n", paths[i], sc.ID())
+		}
+	}
+	fmt.Printf("corpus %s: %d scenario(s), %d failure(s)\n", dir, len(scs), failed)
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runSoak executes soaks in batches until the count or wall-clock budget is
+// exhausted.
+func runSoak(budgetArg string, seed int64, shrink bool, shrinkBudget int, outDir string) int {
+	count, wall, err := parseSoakBudget(budgetArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	start := time.Now()
+	ran, failures := 0, 0
+	const batch = 50
+	for {
+		n := batch
+		if count > 0 {
+			if remaining := count - ran; remaining < n {
+				n = remaining
+			}
+			if n <= 0 {
+				break
+			}
+		}
+		if wall > 0 && time.Since(start) >= wall {
+			break
+		}
+		sum, err := chaos.Soak(chaos.SoakOptions{
+			Seed:         seed + int64(ran),
+			Count:        n,
+			Shrink:       shrink,
+			ShrinkBudget: shrinkBudget,
+			Dir:          outDir,
+			Progress:     os.Stdout,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		ran += sum.Ran
+		failures += len(sum.Failures)
+	}
+	fmt.Printf("soak: %d scenario(s) in %v, %d failure(s)\n", ran, time.Since(start).Round(time.Millisecond), failures)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// parseSoakBudget interprets the -soak argument as a scenario count or a
+// wall-clock duration.
+func parseSoakBudget(s string) (count int, wall time.Duration, err error) {
+	if n, err := strconv.Atoi(s); err == nil {
+		if n <= 0 {
+			return 0, 0, fmt.Errorf("odyssey-chaos: -soak count must be positive, got %d", n)
+		}
+		return n, 0, nil
+	}
+	d, derr := time.ParseDuration(s)
+	if derr != nil {
+		return 0, 0, fmt.Errorf("odyssey-chaos: -soak wants a count or duration, got %q", s)
+	}
+	if d <= 0 {
+		return 0, 0, fmt.Errorf("odyssey-chaos: -soak duration must be positive, got %v", d)
+	}
+	return 0, d, nil
+}

@@ -27,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"odyssey/internal/chaos"
 	"odyssey/internal/experiment"
 	"odyssey/internal/textplot"
 )
@@ -68,6 +69,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent cell-result cache directory (empty = disabled)")
 	progress := flag.Bool("progress", false, "print per-cell progress/timing lines to stderr")
 	misbehaveArg := flag.String("misbehave", "", "with -figure supervision: run a single misbehavior rung (none, mild, mid, severe) instead of the full ladder")
+	scenario := flag.String("scenario", "", "replay a chaos scenario file through the sentinel suite and exit (see cmd/odyssey-chaos)")
 	flag.Parse()
 	emitCSV = *csvOut
 	misbehave = *misbehaveArg
@@ -75,6 +77,9 @@ func main() {
 	experiment.SetCacheDir(*cacheDir)
 	if *progress {
 		experiment.SetProgress(os.Stderr)
+	}
+	if *scenario != "" {
+		os.Exit(replayScenario(*scenario))
 	}
 
 	ids := make([]string, 0, len(figures))
@@ -105,6 +110,31 @@ func main() {
 		run(id, *trials, *breakdown)
 		fmt.Println()
 	}
+}
+
+// replayScenario runs one saved chaos scenario through the sentinel suite,
+// printing the goal outcome and the audit report — the same replay path as
+// cmd/odyssey-chaos -scenario, surfaced here so a failing scenario found by
+// a soak can be inspected with the figure tool's own binary.
+func replayScenario(path string) int {
+	sc, err := chaos.LoadScenario(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Printf("replaying %s\n", sc.Summary())
+	out, err := chaos.Run(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Printf("met=%v end=%v residual=%.1f J adaptations=%v\n",
+		out.Result.Met, out.Result.EndTime, out.Result.Residual, out.Result.Adaptations)
+	fmt.Println(out.Report.String())
+	if !out.Report.OK() {
+		return 1
+	}
+	return 0
 }
 
 // emitCSV switches table rendering to CSV.

@@ -1,0 +1,212 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"odyssey/internal/app/env"
+	"odyssey/internal/core"
+	"odyssey/internal/experiment"
+	"odyssey/internal/faults"
+	"odyssey/internal/netsim"
+	"odyssey/internal/smartbattery"
+	"odyssey/internal/supervise"
+	"odyssey/internal/workload"
+)
+
+// Ledger is the post-run accounting snapshot the sentinels audit: the exact
+// energy integral, both attribution ledgers, and the budget-ledger audit
+// verdict, captured through GoalOptions.Observe while the rig is still
+// alive. It is a plain value so a test can corrupt a copy (via the
+// mutateLedger hook below) and prove the sentinels catch what the
+// simulation — which has no such bug — would never hand them.
+type Ledger struct {
+	Total       float64
+	ByComponent map[string]float64
+	ByPrincipal map[string]float64
+	Elapsed     time.Duration
+	BudgetErr   error
+}
+
+// mutateLedger, when non-nil, corrupts every captured ledger before the
+// sentinels see it. It exists solely for mutation testing: the
+// planted-accounting-bug test sets it to skim energy off one component and
+// asserts the conservation sentinel catches and shrinks it. Never set
+// outside tests.
+var mutateLedger func(*Ledger)
+
+// Outcome is one scenario's full audit.
+type Outcome struct {
+	Scenario Scenario
+	Result   experiment.GoalResult
+	Ledger   Ledger
+	Report   Report
+}
+
+// rigTargets binds injector specs to one trial's live rig. The faults plan
+// resolves servers, the network, and the battery; the misbehave plan
+// resolves applications (gated on the scenario's enabled subset, so a spec
+// aimed at a disabled application is a materialization error, not a silent
+// no-op).
+type rigTargets struct {
+	rig  *env.Rig
+	bat  *smartbattery.Battery
+	apps *workload.Apps
+}
+
+func (t *rigTargets) Network() *netsim.Network { return t.rig.Net }
+
+func (t *rigTargets) Server(name string) (*netsim.Server, bool) {
+	for _, s := range []*netsim.Server{t.rig.VideoServer, t.rig.JanusServer, t.rig.MapServer, t.rig.WebServer} {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+func (t *rigTargets) Battery() *smartbattery.Battery { return t.bat }
+
+func (t *rigTargets) App(name string) (core.Adaptive, *supervise.AppHealth, bool) {
+	if t.apps == nil || !t.apps.Enabled(name) {
+		return nil, nil, false
+	}
+	app := t.apps.ByName(name)
+	health := t.apps.Health(name)
+	if app == nil || health == nil {
+		return nil, nil, false
+	}
+	return app, health, true
+}
+
+// runOnce executes the scenario once and captures everything the sentinels
+// need: the goal result, the ledger snapshot, and a determinism
+// fingerprint. A plan that fails to materialize (unknown target, missing
+// battery) is a scenario error, not a sentinel violation.
+func runOnce(sc Scenario) (experiment.GoalResult, Ledger, string, error) {
+	var led Ledger
+	var buildErr error
+	opt := experiment.GoalOptions{
+		Seed:          sc.Seed,
+		InitialEnergy: sc.InitialEnergy,
+		Goal:          time.Duration(sc.Goal),
+		Bursty:        sc.Bursty,
+		SmartBattery:  sc.SmartBattery,
+		Peukert:       sc.Peukert,
+		Supervise:     sc.Supervise,
+		Apps:          sc.AppsOrAll(),
+		RecordEvents:  true,
+		Observe: func(rig *env.Rig, em *core.EnergyMonitor) {
+			led.Total = rig.M.Acct.TotalEnergy()
+			led.ByComponent = rig.M.Acct.EnergyByComponent()
+			led.ByPrincipal = rig.M.Acct.EnergyByPrincipal()
+			led.Elapsed = rig.K.Now()
+			led.BudgetErr = em.AuditBudgetShares()
+			if mutateLedger != nil {
+				mutateLedger(&led)
+			}
+		},
+	}
+	if sc.Faults != nil {
+		spec := *sc.Faults
+		opt.Faults = func(rig *env.Rig, bat *smartbattery.Battery, seed int64) *faults.Plan {
+			pl, err := spec.Plan(rig.K, &rigTargets{rig: rig, bat: bat})
+			if err != nil {
+				buildErr = err
+				return nil
+			}
+			return pl
+		}
+	}
+	if sc.Misbehave != nil {
+		spec := *sc.Misbehave
+		opt.Misbehave = func(apps *workload.Apps, seed int64) *faults.Plan {
+			pl, err := spec.Plan(apps.Rig.K, &rigTargets{rig: apps.Rig, apps: apps})
+			if err != nil {
+				buildErr = err
+				return nil
+			}
+			return pl
+		}
+	}
+	res := experiment.RunGoal(opt)
+	if buildErr != nil {
+		return res, led, "", fmt.Errorf("chaos: scenario %s: %w", sc.ID(), buildErr)
+	}
+	return res, led, fingerprint(res), nil
+}
+
+// fingerprint renders everything observable about a run into one string:
+// the full event trace (text and CSV), the outcome, and the per-principal
+// energy integrals in exact hex float form. Two runs of the same scenario
+// must produce byte-identical fingerprints — the determinism sentinel.
+func fingerprint(res experiment.GoalResult) string {
+	var b strings.Builder
+	if res.Events != nil {
+		b.WriteString(res.Events.Text())
+		b.WriteString(res.Events.CSV())
+	}
+	fmt.Fprintf(&b, "met=%v end=%v residual=%x\n", res.Met, res.EndTime, res.Residual)
+	apps := make([]string, 0, len(res.Adaptations))
+	for name := range res.Adaptations {
+		apps = append(apps, name)
+	}
+	sort.Strings(apps)
+	for _, name := range apps {
+		fmt.Fprintf(&b, "adapt %s=%d fid=%x\n", name, res.Adaptations[name], res.MeanFidelity[name])
+	}
+	fmt.Fprintf(&b, "faults=%d retries=%d retryJ=%x restarts=%d quarantined=%v\n",
+		res.FaultEvents, res.RetryAttempts, res.RetryEnergy, res.Restarts, res.Quarantined)
+	return b.String()
+}
+
+// firstDiff locates the first byte where two fingerprints diverge and
+// returns a short context excerpt for the violation detail.
+func firstDiff(a, b string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 40
+			if lo < 0 {
+				lo = 0
+			}
+			hiA, hiB := i+40, i+40
+			if hiA > len(a) {
+				hiA = len(a)
+			}
+			if hiB > len(b) {
+				hiB = len(b)
+			}
+			return fmt.Sprintf("first divergence at byte %d: %q vs %q", i, a[lo:hiA], b[lo:hiB])
+		}
+	}
+	return fmt.Sprintf("length mismatch: %d vs %d bytes", len(a), len(b))
+}
+
+// Run executes the scenario twice — once for the sentinel audit, once more
+// to check same-seed determinism — and returns the full outcome. The error
+// return is reserved for scenarios that cannot run at all (a spec naming an
+// absent target); invariant violations are in the Report.
+func Run(sc Scenario) (*Outcome, error) {
+	sc = sc.normalize()
+	res, led, fp1, err := runOnce(sc)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{Scenario: sc, Result: res, Ledger: led}
+	out.Report = audit(sc, res, led)
+
+	_, _, fp2, err := runOnce(sc)
+	if err != nil {
+		return nil, err
+	}
+	if fp1 != fp2 {
+		out.Report.add(SentinelDeterminism, firstDiff(fp1, fp2))
+	}
+	return out, nil
+}

@@ -1,0 +1,199 @@
+// Package chaos is the soak harness that hunts for invariant violations in
+// the simulated testbed: a seeded generator composes randomized adversarial
+// scenarios (workload mixes, fault ladders, application misbehavior, battery
+// configurations), every run is audited by an always-on sentinel suite
+// (energy conservation, budget conservation, clock monotonicity, trace
+// well-formedness, goal/residual bounds, same-seed determinism), and a
+// failing scenario is automatically shrunk to a minimal reproduction with a
+// one-line replay command. Scenarios are plain JSON and content-addressed,
+// so a failure found in a thousand-scenario soak is a file that replays
+// forever.
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"odyssey/internal/faults"
+)
+
+// Scenario is one serializable chaos trial: everything RunGoal needs to
+// reproduce the run bit-for-bit. The fault and misbehavior plans are carried
+// as specs (faults.PlanSpec) because live plans hold rig pointers; Run
+// materializes them against the trial's fresh rig.
+type Scenario struct {
+	// Seed drives the kernel (workload jitter) stream; the plans carry
+	// their own derived seeds so fault timing never perturbs the workload.
+	Seed int64 `json:"seed"`
+	// Goal is the demanded battery duration.
+	Goal faults.Dur `json:"goal"`
+	// InitialEnergy is the supply in joules. The generator deliberately
+	// draws some infeasible supplies: a goal the monitor cannot meet must
+	// still satisfy every invariant.
+	InitialEnergy float64 `json:"initial_energy"`
+	// Apps is the enabled application subset (nil or empty = all four).
+	Apps []string `json:"apps,omitempty"`
+	// Bursty selects the stochastic workload instead of composite+video.
+	Bursty bool `json:"bursty,omitempty"`
+	// SmartBattery reads the quantized battery path instead of the bench
+	// supply; Peukert (>1, with SmartBattery) adds rate-dependent drain.
+	SmartBattery bool    `json:"smart_battery,omitempty"`
+	Peukert      float64 `json:"peukert,omitempty"`
+	// Supervise arms the application supervision plane.
+	Supervise bool `json:"supervise,omitempty"`
+	// Faults carries the network/server/battery fault ladder; Misbehave
+	// carries the application-misbehavior injections.
+	Faults    *faults.PlanSpec `json:"faults,omitempty"`
+	Misbehave *faults.PlanSpec `json:"misbehave,omitempty"`
+}
+
+// ID returns the scenario's content address: the first 16 hex digits of the
+// SHA-256 of its canonical JSON encoding. Two scenarios with the same ID are
+// byte-identical trials.
+func (sc Scenario) ID() string {
+	b, err := json.Marshal(sc)
+	if err != nil {
+		// Scenario contains only marshalable fields; reaching here is a
+		// programming error in the struct definition itself.
+		//odylint:allow panicfree encoding a plain data struct cannot fail at runtime
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])[:16]
+}
+
+// AppsOrAll returns the enabled application set (the full set for nil).
+func (sc Scenario) AppsOrAll() []string {
+	if len(sc.Apps) == 0 {
+		return append([]string(nil), allApps...)
+	}
+	return sc.Apps
+}
+
+// InjectorCount reports how many injectors the scenario arms across both
+// plans — the shrinker's primary size metric.
+func (sc Scenario) InjectorCount() int {
+	n := 0
+	if sc.Faults != nil {
+		n += len(sc.Faults.Injectors)
+	}
+	if sc.Misbehave != nil {
+		n += len(sc.Misbehave.Injectors)
+	}
+	return n
+}
+
+// Summary renders a one-line description for soak progress output.
+func (sc Scenario) Summary() string {
+	mode := "composite"
+	if sc.Bursty {
+		mode = "bursty"
+	}
+	bat := "supply"
+	if sc.SmartBattery {
+		bat = "smartbattery"
+		if sc.Peukert > 1 {
+			bat = fmt.Sprintf("smartbattery(peukert=%.2f)", sc.Peukert)
+		}
+	}
+	sup := ""
+	if sc.Supervise {
+		sup = " supervised"
+	}
+	return fmt.Sprintf("%s seed=%d goal=%v energy=%.0fJ apps=%v %s %s%s injectors=%d",
+		sc.ID(), sc.Seed, time.Duration(sc.Goal), sc.InitialEnergy, sc.AppsOrAll(), mode, bat, sup, sc.InjectorCount())
+}
+
+// normalize drops empty plans and sorts nothing — injector order is
+// semantic (it fixes RNG draw order), so normalization only removes
+// structure that cannot matter: zero-injector plans.
+func (sc Scenario) normalize() Scenario {
+	if sc.Faults != nil && len(sc.Faults.Injectors) == 0 {
+		sc.Faults = nil
+	}
+	if sc.Misbehave != nil && len(sc.Misbehave.Injectors) == 0 {
+		sc.Misbehave = nil
+	}
+	if !sc.SmartBattery {
+		sc.Peukert = 0
+	}
+	return sc
+}
+
+// Save writes the scenario as indented JSON to dir/<id>.json and returns
+// the path. The write is atomic (write-then-rename) so a parallel soak
+// never leaves a truncated corpus entry.
+func (sc Scenario) Save(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	b, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, sc.ID()+".json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadScenario reads one scenario file.
+func LoadScenario(path string) (Scenario, error) {
+	var sc Scenario
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return sc, err
+	}
+	if err := json.Unmarshal(b, &sc); err != nil {
+		return sc, fmt.Errorf("chaos: %s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// LoadCorpus reads every *.json scenario under dir, sorted by filename so
+// replay order is stable. A missing directory is an empty corpus.
+func LoadCorpus(dir string) ([]Scenario, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var scs []Scenario
+	var paths []string
+	for _, n := range names {
+		p := filepath.Join(dir, n)
+		sc, err := LoadScenario(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		scs = append(scs, sc)
+		paths = append(paths, p)
+	}
+	return scs, paths, nil
+}
+
+// ReproCommand returns the one-line command that replays a saved scenario
+// through the full sentinel suite.
+func ReproCommand(path string) string {
+	return "go run ./cmd/odyssey-chaos -scenario " + path
+}

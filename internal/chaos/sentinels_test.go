@@ -1,0 +1,155 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"odyssey/internal/experiment"
+	"odyssey/internal/faults"
+	"odyssey/internal/trace"
+)
+
+// Direct sentinel tests on synthetic data: each sentinel must actually be
+// able to fire. The soak proves they stay quiet on a healthy tree; these
+// prove the quiet is meaningful.
+
+// syntheticLog builds a trace log whose clock the test scripts directly.
+func syntheticLog(times []time.Duration, cats []trace.Category, subjects, messages []string) *trace.Log {
+	i := -1
+	log := trace.NewLog(func() time.Duration { return times[i] }, 0)
+	for j := range times {
+		i = j
+		log.Add(cats[j], subjects[j], messages[j], 0)
+	}
+	return log
+}
+
+func TestClockSentinelCatchesRegression(t *testing.T) {
+	log := syntheticLog(
+		[]time.Duration{time.Second, 3 * time.Second, 2 * time.Second},
+		[]trace.Category{trace.CatOp, trace.CatOp, trace.CatOp},
+		[]string{"a", "a", "a"}, []string{"x", "x", "x"})
+	var r Report
+	checkClock(&r, experiment.GoalResult{Events: log})
+	if !r.Has(SentinelClock) {
+		t.Fatal("backwards timestamp not caught")
+	}
+
+	var clean Report
+	checkClock(&clean, experiment.GoalResult{Events: syntheticLog(
+		[]time.Duration{time.Second, time.Second, 2 * time.Second},
+		[]trace.Category{trace.CatOp, trace.CatOp, trace.CatOp},
+		[]string{"a", "a", "a"}, []string{"x", "x", "x"})})
+	if !clean.OK() {
+		t.Fatalf("monotone log flagged: %s", clean.String())
+	}
+}
+
+func TestTraceSentinelCatchesUnbalancedWindows(t *testing.T) {
+	// A begin with no end: the fault window leaked past the run.
+	leak := syntheticLog(
+		[]time.Duration{time.Second, 2 * time.Second},
+		[]trace.Category{trace.CatFault, trace.CatFault},
+		[]string{"link", "link"}, []string{"outage begin", "outage begin"})
+	var r Report
+	checkTrace(&r, experiment.GoalResult{Events: leak})
+	if !r.Has(SentinelTrace) {
+		t.Fatal("leaked fault window not caught")
+	}
+
+	// An end before any begin.
+	var r2 Report
+	checkTrace(&r2, experiment.GoalResult{Events: syntheticLog(
+		[]time.Duration{time.Second},
+		[]trace.Category{trace.CatFault},
+		[]string{"server:s"}, []string{"recover"})})
+	if !r2.Has(SentinelTrace) {
+		t.Fatal("close-without-open not caught")
+	}
+
+	// Nested windows from two injectors on one component are legitimate.
+	var r3 Report
+	checkTrace(&r3, experiment.GoalResult{Events: syntheticLog(
+		[]time.Duration{1 * time.Second, 2 * time.Second, 3 * time.Second, 4 * time.Second},
+		[]trace.Category{trace.CatFault, trace.CatFault, trace.CatFault, trace.CatFault},
+		[]string{"server:s", "server:s", "server:s", "server:s"},
+		[]string{"crash", "crash", "recover", "recover"})})
+	if !r3.OK() {
+		t.Fatalf("nested windows flagged: %s", r3.String())
+	}
+}
+
+func TestResidualSentinelCatchesContractViolations(t *testing.T) {
+	sc := Scenario{Goal: faults.Dur(2 * time.Minute), InitialEnergy: 1000}
+	cases := []struct {
+		name string
+		res  experiment.GoalResult
+	}{
+		{"negative residual", experiment.GoalResult{Met: true, EndTime: 2 * time.Minute, Residual: -3}},
+		{"residual above supply", experiment.GoalResult{Met: true, EndTime: 2 * time.Minute, Residual: 1500}},
+		{"met before goal", experiment.GoalResult{Met: true, EndTime: time.Minute, Residual: 100}},
+		{"unmet with supply left past goal", experiment.GoalResult{Met: false, EndTime: 3 * time.Minute, Residual: 500}},
+		{"past horizon", experiment.GoalResult{Met: true, EndTime: 2*time.Minute + 5*time.Hour, Residual: 10}},
+	}
+	for _, c := range cases {
+		var r Report
+		checkResidual(&r, sc, c.res)
+		if !r.Has(SentinelResidual) {
+			t.Errorf("%s: not caught", c.name)
+		}
+	}
+	var clean Report
+	checkResidual(&clean, sc, experiment.GoalResult{Met: true, EndTime: 2 * time.Minute, Residual: 100})
+	if !clean.OK() {
+		t.Fatalf("healthy result flagged: %s", clean.String())
+	}
+}
+
+func TestBudgetSentinelSurfacesAuditError(t *testing.T) {
+	var r Report
+	checkBudget(&r, Ledger{BudgetErr: errFake("surviving budget shares sum to 0.7")})
+	if !r.Has(SentinelBudget) {
+		t.Fatal("budget audit error not surfaced")
+	}
+}
+
+// errFake is a trivial error for sentinel plumbing tests.
+type errFake string
+
+func (e errFake) Error() string { return string(e) }
+
+func TestEnergySentinelCatchesSkimmedLedger(t *testing.T) {
+	led := Ledger{
+		Total:       100,
+		ByComponent: map[string]float64{"cpu": 60, "display": 40},
+		ByPrincipal: map[string]float64{"app": 100},
+		Elapsed:     time.Minute,
+	}
+	var clean Report
+	checkEnergy(&clean, led)
+	if !clean.OK() {
+		t.Fatalf("balanced ledger flagged: %s", clean.String())
+	}
+	led.ByComponent["display"] -= 1
+	var r Report
+	checkEnergy(&r, led)
+	if !r.Has(SentinelEnergy) {
+		t.Fatal("skimmed component ledger not caught")
+	}
+	if !strings.Contains(r.Violations[0].Detail, "diverged from exact integral") {
+		t.Fatalf("unexpected detail: %s", r.Violations[0].Detail)
+	}
+}
+
+func TestFirstDiffLocatesDivergence(t *testing.T) {
+	a := "event one\nevent two\nevent three\n"
+	b := "event one\nevent 2wo\nevent three\n"
+	d := firstDiff(a, b)
+	if !strings.Contains(d, "byte 16") {
+		t.Fatalf("firstDiff = %q", d)
+	}
+	if got := firstDiff(a, a+"tail"); !strings.Contains(got, "length mismatch") {
+		t.Fatalf("prefix case: %q", got)
+	}
+}

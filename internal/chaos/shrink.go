@@ -1,0 +1,129 @@
+package chaos
+
+import (
+	"time"
+
+	"odyssey/internal/faults"
+)
+
+// The failing-seed shrinker: greedy delta debugging over the scenario
+// structure. Each pass proposes a list of strictly smaller candidate
+// scenarios — one injector removed, one application removed, one
+// complication flag cleared, the horizon halved — and accepts the first
+// candidate that still trips the same sentinel. Passes repeat until a
+// fixpoint (no candidate reproduces) or the trial budget runs out. The
+// result is typically a one-or-two-app, zero-or-one-injector scenario whose
+// replay command fits on one line.
+
+// ShrinkResult is the minimization outcome.
+type ShrinkResult struct {
+	// Scenario is the smallest reproducing scenario found.
+	Scenario Scenario
+	// Sentinel is the preserved property (the original failure's first
+	// violated sentinel).
+	Sentinel string
+	// Accepted counts reductions applied; Tried counts candidates run.
+	Accepted int
+	Tried    int
+}
+
+// dropInjector returns a copy of the plan spec without injector i (nil when
+// that empties the plan).
+func dropInjector(pl *faults.PlanSpec, i int) *faults.PlanSpec {
+	if len(pl.Injectors) == 1 {
+		return nil
+	}
+	out := *pl
+	out.Injectors = make([]faults.InjectorSpec, 0, len(pl.Injectors)-1)
+	out.Injectors = append(out.Injectors, pl.Injectors[:i]...)
+	out.Injectors = append(out.Injectors, pl.Injectors[i+1:]...)
+	return &out
+}
+
+// candidates proposes every single-step reduction of sc, smallest-impact
+// first: structure (injectors, apps), then complication flags, then the
+// horizon. Each candidate differs from sc by exactly one step, which keeps
+// every accepted reduction independently explainable.
+func candidates(sc Scenario) []Scenario {
+	var out []Scenario
+	if sc.Misbehave != nil {
+		for i := range sc.Misbehave.Injectors {
+			c := sc
+			c.Misbehave = dropInjector(sc.Misbehave, i)
+			out = append(out, c)
+		}
+	}
+	if sc.Faults != nil {
+		for i := range sc.Faults.Injectors {
+			c := sc
+			c.Faults = dropInjector(sc.Faults, i)
+			out = append(out, c)
+		}
+	}
+	if apps := sc.AppsOrAll(); len(apps) > 1 {
+		for i := range apps {
+			c := sc
+			c.Apps = make([]string, 0, len(apps)-1)
+			c.Apps = append(c.Apps, apps[:i]...)
+			c.Apps = append(c.Apps, apps[i+1:]...)
+			out = append(out, c)
+		}
+	}
+	for _, clear := range []func(*Scenario) bool{
+		func(c *Scenario) bool { ok := c.Bursty; c.Bursty = false; return ok },
+		func(c *Scenario) bool { ok := c.Supervise; c.Supervise = false; return ok },
+		func(c *Scenario) bool { ok := c.Peukert > 0; c.Peukert = 0; return ok },
+		func(c *Scenario) bool { ok := c.SmartBattery; c.SmartBattery = false; return ok },
+	} {
+		c := sc
+		if clear(&c) {
+			out = append(out, c)
+		}
+	}
+	if goal := time.Duration(sc.Goal); goal >= time.Minute {
+		c := sc
+		c.Goal = faults.Dur((goal / 2).Round(time.Millisecond))
+		c.InitialEnergy = sc.InitialEnergy / 2
+		out = append(out, c)
+	}
+	return out
+}
+
+// Shrink minimizes sc while preserving the named sentinel violation.
+// maxTrials bounds the total candidate runs (<=0 selects a default of 200);
+// each candidate costs two simulations (the determinism double-run), so the
+// default budget is a few seconds of wall clock. progress, when non-nil,
+// receives one line per accepted reduction.
+func Shrink(sc Scenario, sentinel string, maxTrials int, progress func(string)) ShrinkResult {
+	if maxTrials <= 0 {
+		maxTrials = 200
+	}
+	res := ShrinkResult{Scenario: sc.normalize(), Sentinel: sentinel}
+	reproduces := func(c Scenario) bool {
+		if res.Tried >= maxTrials {
+			return false
+		}
+		res.Tried++
+		out, err := Run(c)
+		return err == nil && out.Report.Has(sentinel)
+	}
+	for res.Tried < maxTrials {
+		accepted := false
+		for _, c := range candidates(res.Scenario) {
+			c = c.normalize()
+			if reproduces(c) {
+				res.Scenario = c
+				res.Accepted++
+				accepted = true
+				if progress != nil {
+					progress("shrink: " + c.Summary())
+				}
+				break
+			}
+		}
+		if !accepted {
+			break
+		}
+	}
+	return res
+}

@@ -1,0 +1,115 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+
+	"odyssey/internal/experiment"
+)
+
+// The soak driver: generate scenario i from (base seed + i), run it through
+// the sentinel suite on the experiment scheduler's worker pool, and shrink
+// whatever fails. Results merge in index order, so a parallel soak reports
+// failures identically to a serial one.
+
+// SoakOptions parameterizes one soak.
+type SoakOptions struct {
+	// Seed is the base seed; scenario i uses Seed+i.
+	Seed int64
+	// Count is how many scenarios to run.
+	Count int
+	// Shrink minimizes each failing scenario before reporting it.
+	Shrink bool
+	// ShrinkBudget bounds candidate runs per shrink (<=0 = default 200).
+	ShrinkBudget int
+	// Dir, when non-empty, receives the failing scenarios (and their
+	// shrunk forms) as JSON files for replay.
+	Dir string
+	// Progress, when non-nil, receives one line per failure and per
+	// accepted shrink step as they happen.
+	Progress io.Writer
+}
+
+// Failure is one failing scenario, minimized when shrinking was on.
+type Failure struct {
+	Scenario Scenario
+	Report   Report
+	// Err is set when the scenario could not run at all (a malformed
+	// spec), in which case Report is empty.
+	Err error
+	// Shrunk is the minimized reproduction (nil when shrinking was off or
+	// the scenario errored).
+	Shrunk *ShrinkResult
+	// Path/ShrunkPath are the saved scenario files (when Dir was set);
+	// Repro is the one-line replay command for the smallest saved form.
+	Path       string
+	ShrunkPath string
+	Repro      string
+}
+
+// SoakSummary is the soak's aggregate outcome.
+type SoakSummary struct {
+	Ran      int
+	Failures []Failure
+}
+
+// OK reports whether every scenario passed every sentinel.
+func (s *SoakSummary) OK() bool { return len(s.Failures) == 0 }
+
+// Soak runs opts.Count generated scenarios and returns every failure. The
+// scenario runs fan out over experiment.RunTasks (see SetParallelism);
+// shrinking and file output happen serially afterwards so the pool never
+// contends on the filesystem.
+func Soak(opts SoakOptions) (*SoakSummary, error) {
+	logf := func(format string, args ...any) {
+		if opts.Progress != nil {
+			_, _ = fmt.Fprintf(opts.Progress, format+"\n", args...)
+		}
+	}
+	type slot struct {
+		out *Outcome
+		err error
+	}
+	slots := make([]slot, opts.Count)
+	experiment.RunTasks(opts.Count, func(i int) {
+		sc := Generate(opts.Seed + int64(i))
+		out, err := Run(sc)
+		slots[i] = slot{out: out, err: err}
+	})
+
+	sum := &SoakSummary{Ran: opts.Count}
+	for i, s := range slots {
+		sc := Generate(opts.Seed + int64(i))
+		if s.err != nil {
+			logf("FAIL %s: %v", sc.ID(), s.err)
+			sum.Failures = append(sum.Failures, Failure{Scenario: sc, Err: s.err})
+			continue
+		}
+		if s.out.Report.OK() {
+			continue
+		}
+		f := Failure{Scenario: sc, Report: s.out.Report}
+		logf("FAIL %s", s.out.Report.String())
+		if opts.Shrink {
+			sr := Shrink(sc, s.out.Report.First(), opts.ShrinkBudget, func(line string) { logf("%s", line) })
+			f.Shrunk = &sr
+			logf("shrunk %s -> %s (%d reductions, %d trials)", sc.ID(), sr.Scenario.ID(), sr.Accepted, sr.Tried)
+		}
+		if opts.Dir != "" {
+			var err error
+			if f.Path, err = sc.Save(opts.Dir); err != nil {
+				return nil, err
+			}
+			f.Repro = ReproCommand(f.Path)
+			if f.Shrunk != nil {
+				if f.ShrunkPath, err = f.Shrunk.Scenario.Save(opts.Dir); err != nil {
+					return nil, err
+				}
+				f.Repro = ReproCommand(f.ShrunkPath)
+			}
+			logf("repro: %s", f.Repro)
+		}
+		sum.Failures = append(sum.Failures, f)
+	}
+	return sum, nil
+}

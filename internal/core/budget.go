@@ -1,6 +1,11 @@
 package core
 
-import "odyssey/internal/trace"
+import (
+	"fmt"
+	"math"
+
+	"odyssey/internal/trace"
+)
 
 // Priority-weighted energy-budget ledger. The monitor's control loop is
 // global (one smoothed supply/demand comparison drives everyone), but the
@@ -35,6 +40,42 @@ func (em *EnergyMonitor) BudgetShares() map[string]float64 {
 		}
 	}
 	return shares
+}
+
+// AuditBudgetShares verifies the ledger's conservation law after any number
+// of ReallocateBudget calls: every share lies in [0,1], excluded
+// registrations hold exactly zero, and the surviving shares sum to 1 — the
+// whole remaining supply stays allocated, none of it stranded with a
+// quarantined application or minted from nowhere. With no surviving
+// registrations the sum must be exactly zero. A non-nil error is a budget
+// accounting bug; the chaos sentinel suite queries this after every run.
+func (em *EnergyMonitor) AuditBudgetShares() error {
+	shares := em.BudgetShares()
+	sum, survivors := 0.0, 0
+	for _, r := range em.v.apps {
+		s := shares[r.App.Name()]
+		if s < 0 || s > 1 {
+			return fmt.Errorf("core: budget share %q = %g outside [0,1]", r.App.Name(), s)
+		}
+		if r.Excluded() {
+			if s != 0 { //odylint:allow floateq quarantine assigns a literal zero share; any nonzero bit pattern is a bug
+				return fmt.Errorf("core: excluded application %q holds budget share %g", r.App.Name(), s)
+			}
+			continue
+		}
+		survivors++
+		sum += s
+	}
+	if survivors == 0 {
+		if sum != 0 { //odylint:allow floateq the sum of literal zeros must be exactly zero
+			return fmt.Errorf("core: no surviving applications but budget shares sum to %g", sum)
+		}
+		return nil
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("core: surviving budget shares sum to %.12g, want 1", sum)
+	}
+	return nil
 }
 
 // ReallocateBudget redistributes a departed application's budget share

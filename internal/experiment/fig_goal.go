@@ -84,6 +84,14 @@ type GoalOptions struct {
 	// application-misbehavior fault plan against the trial's apps. It
 	// starts with the workload and is stopped when the run finishes.
 	Misbehave func(apps *workload.Apps, seed int64) *faults.Plan
+	// Apps restricts the scenario to a subset of the applications by name
+	// (nil = all four). The chaos plane uses this to compose random
+	// application mixes and to shrink failing mixes.
+	Apps []string
+	// Observe, if set, runs after the simulation finishes but before the
+	// rig is discarded, with the run's ledgers still intact — the chaos
+	// sentinel suite's window into the accountant and the budget ledger.
+	Observe func(rig *env.Rig, em *core.EnergyMonitor)
 }
 
 // GoalResult is the outcome of one goal-directed run.
@@ -171,10 +179,18 @@ func RunGoal(opt GoalOptions) GoalResult {
 	rig := env.NewRig(opt.Seed, 1)
 	rig.EnablePowerMgmt()
 	apps := workload.NewApps(rig)
+	if opt.Apps != nil {
+		if err := apps.Enable(opt.Apps...); err != nil {
+			//odylint:allow panicfree GoalOptions.Apps is programmer-supplied configuration; chaos validates names before calling
+			panic(err)
+		}
+	}
 	var regs []*core.Registration
 	if opt.EqualPriority {
 		for _, a := range []core.Adaptive{apps.Speech, apps.Video, apps.Map, apps.Web} {
-			regs = append(regs, rig.V.RegisterApp(a, 1))
+			if apps.Enabled(a.Name()) {
+				regs = append(regs, rig.V.RegisterApp(a, 1))
+			}
 		}
 	} else {
 		regs = apps.Register()
@@ -343,6 +359,9 @@ func RunGoal(opt GoalOptions) GoalResult {
 		res.Quarantined = sup.Quarantined()
 		res.Strikes = sup.Strikes()
 		res.BudgetShares = em.BudgetShares()
+	}
+	if opt.Observe != nil {
+		opt.Observe(rig, em)
 	}
 	return res
 }

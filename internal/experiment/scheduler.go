@@ -72,6 +72,12 @@ func progressf(format string, args ...any) {
 	_, _ = fmt.Fprintf(sched.progress, format+"\n", args...)
 }
 
+// RunTasks executes fn(0..n-1) on the configured worker pool (see
+// SetParallelism). Callers index their result slots by i, so completion
+// order never affects output. The chaos soak drives its scenario batches
+// through this pool.
+func RunTasks(n int, fn func(i int)) { runTasks(n, fn) }
+
 // runTasks executes fn(0..n-1) on the configured worker pool. Callers index
 // their result slots by i, so completion order never affects output.
 func runTasks(n int, fn func(i int)) {

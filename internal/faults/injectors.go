@@ -26,6 +26,11 @@ type LinkOutage struct {
 // Name implements Injector.
 func (o *LinkOutage) Name() string { return "link" }
 
+// Spec implements Injector.
+func (o *LinkOutage) Spec() InjectorSpec {
+	return InjectorSpec{Kind: KindLink, MeanUp: Dur(o.MeanUp), MeanDown: Dur(o.MeanDown), MaxDown: Dur(o.MaxDown)}
+}
+
 // Start implements Injector.
 func (o *LinkOutage) Start(pl *Plan) {
 	o.Net.SetResilient(true)
@@ -71,6 +76,11 @@ type ByteLoss struct {
 
 // Name implements Injector.
 func (b *ByteLoss) Name() string { return "loss" }
+
+// Spec implements Injector.
+func (b *ByteLoss) Spec() InjectorSpec {
+	return InjectorSpec{Kind: KindLoss, Fraction: b.Fraction, Spread: b.Spread}
+}
 
 // Start implements Injector.
 func (b *ByteLoss) Start(pl *Plan) {
@@ -118,6 +128,12 @@ type ServerCrash struct {
 // Name implements Injector.
 func (c *ServerCrash) Name() string { return "server:" + c.Server.Name }
 
+// Spec implements Injector.
+func (c *ServerCrash) Spec() InjectorSpec {
+	return InjectorSpec{Kind: KindServerCrash, Target: c.Server.Name,
+		MeanUp: Dur(c.MeanUp), MeanDown: Dur(c.MeanDown), MaxDown: Dur(c.MaxDown)}
+}
+
 // Start implements Injector.
 func (c *ServerCrash) Start(pl *Plan) {
 	if c.Net != nil {
@@ -163,6 +179,12 @@ type ServerLatency struct {
 // Name implements Injector.
 func (l *ServerLatency) Name() string { return "latency:" + l.Server.Name }
 
+// Spec implements Injector.
+func (l *ServerLatency) Spec() InjectorSpec {
+	return InjectorSpec{Kind: KindServerLatency, Target: l.Server.Name,
+		MeanUp: Dur(l.MeanCalm), MeanDown: Dur(l.MeanSpike), Factor: l.Factor}
+}
+
 // Start implements Injector.
 func (l *ServerLatency) Start(pl *Plan) {
 	if l.Net != nil {
@@ -204,6 +226,11 @@ type BatteryDropout struct {
 
 // Name implements Injector.
 func (d *BatteryDropout) Name() string { return "battery" }
+
+// Spec implements Injector.
+func (d *BatteryDropout) Spec() InjectorSpec {
+	return InjectorSpec{Kind: KindBatteryDropout, MeanUp: Dur(d.MeanUp), MeanDown: Dur(d.MeanDown)}
+}
 
 // Start implements Injector.
 func (d *BatteryDropout) Start(pl *Plan) {

@@ -1,0 +1,226 @@
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"odyssey/internal/core"
+	"odyssey/internal/netsim"
+	"odyssey/internal/sim"
+	"odyssey/internal/smartbattery"
+	"odyssey/internal/supervise"
+)
+
+// Plan serialization. A running Plan holds live pointers into one trial's
+// rig (the network, the servers, a SmartBattery, the applications), so a
+// plan cannot round-trip through JSON by itself: what serializes is the
+// injector *specification* — kind, target name, and timing parameters — and
+// deserialization yields a pending plan that Materialize binds to a fresh
+// rig through the Targets interface. Spec -> JSON -> spec -> Materialize is
+// exact: the spec carries the plan's seed, so a replayed plan draws the
+// identical fault schedule.
+
+// Dur is a time.Duration that marshals as its String form ("2m10s"). The
+// round trip is exact: ParseDuration inverts String for every duration.
+type Dur time.Duration
+
+// D returns the underlying time.Duration.
+func (d Dur) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON implements json.Marshaler.
+func (d Dur) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Dur) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return fmt.Errorf("faults: bad duration %q: %w", s, err)
+	}
+	*d = Dur(v)
+	return nil
+}
+
+// Injector spec kinds.
+const (
+	KindLink           = "link-outage"
+	KindLoss           = "byte-loss"
+	KindServerCrash    = "server-crash"
+	KindServerLatency  = "server-latency"
+	KindBatteryDropout = "battery-dropout"
+	KindAppCrash       = "app-crash"
+	KindAppHang        = "app-hang"
+	KindAppThrash      = "app-thrash"
+	KindAppLie         = "app-lie"
+)
+
+// InjectorSpec is the serializable description of one injector. Fields are
+// reused across kinds: MeanUp/MeanDown are the healthy/faulted dwell means
+// (calm/spike for latency, lifetime-between-kills for app-crash), MaxDown
+// caps one faulted window, and the scalar fields carry the kind-specific
+// magnitudes.
+type InjectorSpec struct {
+	Kind   string `json:"kind"`
+	Target string `json:"target,omitempty"` // server or application name
+
+	MeanUp   Dur `json:"mean_up,omitempty"`
+	MeanDown Dur `json:"mean_down,omitempty"`
+	MaxDown  Dur `json:"max_down,omitempty"`
+	Period   Dur `json:"period,omitempty"` // app-thrash re-raise cadence
+
+	Fraction float64 `json:"fraction,omitempty"` // byte-loss mean fraction
+	Spread   float64 `json:"spread,omitempty"`   // byte-loss +/- spread
+	Factor   float64 `json:"factor,omitempty"`   // server-latency multiplier
+	Delta    int     `json:"delta,omitempty"`    // app-lie level divergence
+}
+
+// Targets resolves the symbolic names in injector specs against one trial's
+// live rig. Implementations return ok=false (or nil for the battery) when a
+// target does not exist in the scenario, which Materialize reports as an
+// error rather than a panic, so a malformed or over-shrunk spec fails the
+// single trial instead of the whole soak.
+type Targets interface {
+	// Network returns the wireless network under test.
+	Network() *netsim.Network
+	// Server resolves a remote server by name.
+	Server(name string) (*netsim.Server, bool)
+	// Battery returns the SmartBattery, or nil when the scenario reads
+	// the bench supply.
+	Battery() *smartbattery.Battery
+	// App resolves an adaptive application and its misbehavior surface.
+	App(name string) (core.Adaptive, *supervise.AppHealth, bool)
+}
+
+// Build materializes the spec into a live injector bound to tg.
+func (s InjectorSpec) Build(tg Targets) (Injector, error) {
+	switch s.Kind {
+	case KindLink:
+		return &LinkOutage{Net: tg.Network(), MeanUp: s.MeanUp.D(), MeanDown: s.MeanDown.D(), MaxDown: s.MaxDown.D()}, nil
+	case KindLoss:
+		return &ByteLoss{Net: tg.Network(), Fraction: s.Fraction, Spread: s.Spread}, nil
+	case KindServerCrash:
+		srv, ok := tg.Server(s.Target)
+		if !ok {
+			return nil, fmt.Errorf("faults: %s: unknown server %q", s.Kind, s.Target)
+		}
+		return &ServerCrash{Server: srv, Net: tg.Network(), MeanUp: s.MeanUp.D(), MeanDown: s.MeanDown.D(), MaxDown: s.MaxDown.D()}, nil
+	case KindServerLatency:
+		srv, ok := tg.Server(s.Target)
+		if !ok {
+			return nil, fmt.Errorf("faults: %s: unknown server %q", s.Kind, s.Target)
+		}
+		return &ServerLatency{Server: srv, Net: tg.Network(), MeanCalm: s.MeanUp.D(), MeanSpike: s.MeanDown.D(), Factor: s.Factor}, nil
+	case KindBatteryDropout:
+		bat := tg.Battery()
+		if bat == nil {
+			return nil, fmt.Errorf("faults: %s: scenario has no SmartBattery", s.Kind)
+		}
+		return &BatteryDropout{Bat: bat, MeanUp: s.MeanUp.D(), MeanDown: s.MeanDown.D()}, nil
+	case KindAppCrash, KindAppHang, KindAppThrash, KindAppLie:
+		app, health, ok := tg.App(s.Target)
+		if !ok {
+			return nil, fmt.Errorf("faults: %s: unknown application %q", s.Kind, s.Target)
+		}
+		switch s.Kind {
+		case KindAppCrash:
+			return &AppCrash{App: app, Health: health, MeanUp: s.MeanUp.D()}, nil
+		case KindAppHang:
+			return &AppHang{App: app, Health: health, MeanOK: s.MeanUp.D(), MeanHang: s.MeanDown.D(), MaxHang: s.MaxDown.D()}, nil
+		case KindAppThrash:
+			return &AppThrash{App: app, Health: health, MeanCalm: s.MeanUp.D(), MeanThrash: s.MeanDown.D(), Period: s.Period.D()}, nil
+		default:
+			return &AppLie{App: app, Health: health, MeanOK: s.MeanUp.D(), MeanLie: s.MeanDown.D(), Delta: s.Delta}, nil
+		}
+	}
+	return nil, fmt.Errorf("faults: unknown injector kind %q", s.Kind)
+}
+
+// PlanSpec is the serializable form of a Plan: its name, its RNG seed, and
+// its injector specs, in order. Injector order matters — it fixes the order
+// injectors arm against the plan's single RNG stream — so the spec
+// preserves it exactly.
+type PlanSpec struct {
+	Name      string         `json:"name"`
+	Seed      int64          `json:"seed"`
+	Injectors []InjectorSpec `json:"injectors,omitempty"`
+}
+
+// Plan materializes the spec into a live plan driving its injectors from k,
+// bound to tg.
+func (s PlanSpec) Plan(k *sim.Kernel, tg Targets) (*Plan, error) {
+	pl := NewPlan(k, s.Name, s.Seed)
+	for _, is := range s.Injectors {
+		inj, err := is.Build(tg)
+		if err != nil {
+			return nil, err
+		}
+		pl.Add(inj)
+	}
+	return pl, nil
+}
+
+// Spec returns the plan's serializable form. For a plan decoded from JSON
+// but not yet materialized, the pending injector specs are returned.
+func (pl *Plan) Spec() PlanSpec {
+	s := PlanSpec{Name: pl.Name, Seed: pl.seed}
+	if pl.injectors == nil && pl.pending != nil {
+		s.Injectors = append(s.Injectors, pl.pending...)
+		return s
+	}
+	for _, in := range pl.injectors {
+		s.Injectors = append(s.Injectors, in.Spec())
+	}
+	return s
+}
+
+// Seed returns the seed of the plan's dedicated RNG stream.
+func (pl *Plan) Seed() int64 { return pl.seed }
+
+// MarshalJSON implements json.Marshaler via the plan's spec.
+func (pl *Plan) MarshalJSON() ([]byte, error) {
+	return json.Marshal(pl.Spec())
+}
+
+// UnmarshalJSON implements json.Unmarshaler: the plan is decoded in pending
+// form (name, seed, injector specs) and must be bound to a rig with
+// Materialize before Start.
+func (pl *Plan) UnmarshalJSON(b []byte) error {
+	var s PlanSpec
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	*pl = Plan{
+		Name:    s.Name,
+		seed:    s.Seed,
+		rng:     rand.New(rand.NewSource(s.Seed)),
+		counts:  make(map[string]int),
+		pending: s.Injectors,
+	}
+	return nil
+}
+
+// Materialize binds a plan decoded from JSON to a live rig: every pending
+// injector spec is built against tg and the plan becomes startable on k. It
+// is an error to materialize a plan that already has live injectors.
+func (pl *Plan) Materialize(k *sim.Kernel, tg Targets) error {
+	if pl.injectors != nil {
+		return fmt.Errorf("faults: plan %q already materialized", pl.Name)
+	}
+	pl.k = k
+	for _, is := range pl.pending {
+		inj, err := is.Build(tg)
+		if err != nil {
+			return err
+		}
+		pl.injectors = append(pl.injectors, inj)
+	}
+	pl.pending = nil
+	return nil
+}

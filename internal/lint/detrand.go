@@ -35,6 +35,7 @@ var detrandPackages = []string{
 	"internal/smartbattery",
 	"internal/faults",
 	"internal/supervise",
+	"internal/chaos",
 }
 
 // detrandForbidden maps package path -> forbidden member -> short reason.

@@ -1,0 +1,59 @@
+package power
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Always-queryable energy-conservation audit. The odysseydebug build tag
+// compiles the same cross-check into every integration step and panics on
+// divergence (debug_on.go); this file is the production face of that
+// invariant: any caller — most importantly the chaos sentinel suite — can
+// audit a finished run and get an error describing the divergence instead
+// of a dead process. A chaos soak runs thousands of adversarial scenarios;
+// an accounting bug must fail one scenario's report, not kill the worker.
+
+// conservationTolerance returns the acceptable absolute divergence between
+// an attribution ledger's sum and the exact integral: a relative term for
+// rounding in the multiply-add chains plus an absolute term covering the
+// sub-1e-12-watt superlinear excess integrate deliberately drops each
+// segment.
+func conservationTolerance(totalEnergy float64, elapsed time.Duration) float64 {
+	return 1e-9*(1+math.Abs(totalEnergy)) + 1e-12*elapsed.Seconds()
+}
+
+// ConservationCheck cross-checks an energy ledger snapshot: the summed
+// per-hardware-component energy and the summed per-software-principal
+// energy must each equal the exact integral totalEnergy within tolerance.
+// A non-nil error means energy was created or destroyed by an accounting
+// bug. elapsed is the virtual time the ledger covers (it scales the
+// absolute tolerance term).
+func ConservationCheck(totalEnergy float64, byComponent, byPrincipal map[string]float64, elapsed time.Duration) error {
+	var byComp, byPrin float64
+	for _, v := range byComponent {
+		byComp += v
+	}
+	for _, v := range byPrincipal {
+		byPrin += v
+	}
+	tol := conservationTolerance(totalEnergy, elapsed)
+	if d := math.Abs(byComp - totalEnergy); d > tol {
+		return fmt.Errorf("power: component energy %.12g J diverged from exact integral %.12g J by %.3g J (tol %.3g) at t=%v",
+			byComp, totalEnergy, d, tol, elapsed)
+	}
+	if d := math.Abs(byPrin - totalEnergy); d > tol {
+		return fmt.Errorf("power: principal energy %.12g J diverged from exact integral %.12g J by %.3g J (tol %.3g) at t=%v",
+			byPrin, totalEnergy, d, tol, elapsed)
+	}
+	return nil
+}
+
+// AuditConservation integrates up to the current instant and cross-checks
+// both attribution ledgers against the exact integral, returning a non-nil
+// error on divergence. It is the post-run form of the odysseydebug
+// per-step assertion.
+func (a *Accountant) AuditConservation() error {
+	a.integrate()
+	return ConservationCheck(a.totalEnergy, a.byComponent, a.byPrincipal, a.last)
+}

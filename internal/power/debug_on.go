@@ -2,44 +2,20 @@
 
 package power
 
-import (
-	"fmt"
-	"math"
-)
-
 // debugAssertions reports whether the odysseydebug runtime invariant
 // checks are compiled in.
 const debugAssertions = true
 
 // assertConsistent cross-checks the exact integrator against both
-// attribution ledgers after every integration step: total energy must
-// equal the summed per-hardware-component energy (including the
-// superlinear pseudo-component) and the summed per-software-principal
-// energy, to within floating-point slack. A divergence means energy was
-// created or destroyed by an accounting bug - precisely the silent
-// corruption the paper's methodology cannot tolerate - so the simulation
-// stops immediately rather than producing a plausible-looking figure.
-//
-// The tolerance has two parts: a relative term for rounding in the
-// multiply-add chains, and an absolute term covering the sub-1e-12-watt
-// superlinear excess that integrate deliberately drops each segment.
+// attribution ledgers after every integration step, via the same
+// ConservationCheck the chaos sentinels query post-run (audit.go). A
+// divergence means energy was created or destroyed by an accounting bug -
+// precisely the silent corruption the paper's methodology cannot tolerate -
+// so under the debug tag the simulation stops immediately rather than
+// producing a plausible-looking figure.
 func (a *Accountant) assertConsistent() {
-	var byComp, byPrin float64
-	for _, v := range a.byComponent {
-		byComp += v
-	}
-	for _, v := range a.byPrincipal {
-		byPrin += v
-	}
-	tol := 1e-9*(1+math.Abs(a.totalEnergy)) + 1e-12*a.last.Seconds()
-	if d := math.Abs(byComp - a.totalEnergy); d > tol {
+	if err := ConservationCheck(a.totalEnergy, a.byComponent, a.byPrincipal, a.last); err != nil {
 		//odylint:allow panicfree debug-only invariant: continuing would publish corrupt energy figures
-		panic(fmt.Sprintf("power: component energy %.12g J diverged from exact integral %.12g J by %.3g J (tol %.3g) at t=%v",
-			byComp, a.totalEnergy, d, tol, a.last))
-	}
-	if d := math.Abs(byPrin - a.totalEnergy); d > tol {
-		//odylint:allow panicfree debug-only invariant: continuing would publish corrupt energy figures
-		panic(fmt.Sprintf("power: principal energy %.12g J diverged from exact integral %.12g J by %.3g J (tol %.3g) at t=%v",
-			byPrin, a.totalEnergy, d, tol, a.last))
+		panic(err.Error())
 	}
 }

@@ -1,0 +1,87 @@
+package workload_test
+
+import (
+	"testing"
+	"time"
+
+	"odyssey/internal/app/env"
+	"odyssey/internal/app/mapview"
+	"odyssey/internal/app/speech"
+	"odyssey/internal/workload"
+)
+
+// TestEnableRestrictsRegistration: only enabled applications register, in
+// the usual priority order; unknown names are rejected.
+func TestEnableRestrictsRegistration(t *testing.T) {
+	rig := env.NewRig(1, 1)
+	apps := workload.NewApps(rig)
+	if err := apps.Enable("video", "web"); err != nil {
+		t.Fatal(err)
+	}
+	regs := apps.Register()
+	if len(regs) != 2 {
+		t.Fatalf("%d registrations, want 2", len(regs))
+	}
+	if regs[0].App.Name() != "video" || regs[1].App.Name() != "web" {
+		t.Fatalf("registered %s,%s; want video,web", regs[0].App.Name(), regs[1].App.Name())
+	}
+	if apps.Enabled("speech") || !apps.Enabled("video") {
+		t.Fatal("Enabled gating wrong")
+	}
+	if err := apps.Enable("orchestra"); err == nil {
+		t.Fatal("unknown application accepted")
+	}
+}
+
+// TestByNameResolvesAllApps: ByName covers the full roster and rejects
+// unknowns.
+func TestByNameResolvesAllApps(t *testing.T) {
+	apps := workload.NewApps(env.NewRig(2, 1))
+	for _, name := range workload.Names {
+		a := apps.ByName(name)
+		if a == nil || a.Name() != name {
+			t.Fatalf("ByName(%q) = %v", name, a)
+		}
+		if apps.Health(name) == nil {
+			t.Fatalf("Health(%q) = nil", name)
+		}
+	}
+	if apps.ByName("nope") != nil {
+		t.Fatal("ByName accepted an unknown name")
+	}
+}
+
+// TestSubsetWorkloadOnlyDrivesEnabledApps: with only the map viewer
+// enabled, a stretch of the goal workload performs map operations and never
+// touches the others' fidelity.
+func TestSubsetWorkloadOnlyDrivesEnabledApps(t *testing.T) {
+	rig := env.NewRig(3, 1)
+	apps := workload.NewApps(rig)
+	if err := apps.Enable("map"); err != nil {
+		t.Fatal(err)
+	}
+	apps.Register()
+	videoLevel := apps.Video.Level()
+	apps.SetAllLowest()
+	if apps.Video.Level() != videoLevel {
+		t.Fatal("SetAllLowest touched the disabled video player")
+	}
+	if apps.Map.Level() != 0 {
+		t.Fatal("SetAllLowest skipped the enabled map viewer")
+	}
+	videoBefore := apps.Video.Totals
+	done := false
+	rig.K.At(90*time.Second, func() { done = true; rig.K.Stop() })
+	apps.StartGoalWorkload(25*time.Second, func() bool { return done })
+	rig.K.Run(0)
+	byPrin := rig.M.Acct.EnergyByPrincipal()
+	if byPrin[mapview.PrincipalAnvil] == 0 {
+		t.Fatal("enabled map viewer consumed no energy")
+	}
+	if apps.Video.Totals != videoBefore {
+		t.Fatal("disabled video player did work")
+	}
+	if byPrin[speech.PrincipalFrontEnd] != 0 {
+		t.Fatalf("disabled recognizer charged %g J", byPrin[speech.PrincipalFrontEnd])
+	}
+}

@@ -7,6 +7,8 @@
 package workload
 
 import (
+	"fmt"
+	"strings"
 	"time"
 
 	"odyssey/internal/app/env"
@@ -38,11 +40,19 @@ type Apps struct {
 	Map    *mapview.Viewer
 	Web    *web.Browser
 
+	// enabled restricts the scenario to a subset of the applications
+	// (nil = all four). Disabled applications are constructed but never
+	// registered, driven, or touched by SetAll*.
+	enabled map[string]bool
+
 	utterances []speech.Utterance
 	maps       []mapview.Map
 	images     []web.Image
 	clips      []video.Clip
 }
+
+// Names lists the four application names in registration (priority) order.
+var Names = []string{"speech", "video", "map", "web"}
 
 // newGoalRecognizer returns a recognizer whose lowest fidelity also
 // switches to the hybrid strategy, per Section 5's energy-optimal policy.
@@ -67,16 +77,68 @@ func NewApps(rig *env.Rig) *Apps {
 	}
 }
 
-// Register places all four applications under viceroy control with the
+// Enable restricts the workload to the named applications: Register,
+// SetAllHighest/SetAllLowest, and the workload drivers all skip the rest.
+// Unknown names are reported as an error. The chaos plane uses this to
+// compose random application mixes (and to shrink a failing mix to a
+// minimal one); with Enable never called the behaviour is the legacy
+// all-four workload, byte for byte.
+func (a *Apps) Enable(names ...string) error {
+	known := map[string]bool{}
+	for _, n := range Names {
+		known[n] = true
+	}
+	a.enabled = make(map[string]bool, len(names))
+	for _, n := range names {
+		if !known[n] {
+			return fmt.Errorf("workload: unknown application %q (known: %s)", n, strings.Join(Names, " "))
+		}
+		a.enabled[n] = true
+	}
+	return nil
+}
+
+// Enabled reports whether the named application participates in the
+// scenario (every application does until Enable restricts the set).
+func (a *Apps) Enabled(name string) bool {
+	return a.enabled == nil || a.enabled[name]
+}
+
+// ByName returns the named adaptive application, or nil for an unknown
+// name. Fault-plan binders use it to aim misbehavior injectors.
+func (a *Apps) ByName(name string) core.Adaptive {
+	switch name {
+	case a.Speech.Name():
+		return a.Speech
+	case a.Video.Name():
+		return a.Video
+	case a.Map.Name():
+		return a.Map
+	case a.Web.Name():
+		return a.Web
+	}
+	return nil
+}
+
+// Register places the enabled applications under viceroy control with the
 // paper's priorities and returns the registrations.
 func (a *Apps) Register() []*core.Registration {
 	v := a.Rig.V
-	return []*core.Registration{
-		v.RegisterApp(a.Speech, PrioritySpeech),
-		v.RegisterApp(a.Video, PriorityVideo),
-		v.RegisterApp(a.Map, PriorityMap),
-		v.RegisterApp(a.Web, PriorityWeb),
+	var regs []*core.Registration
+	for _, e := range []struct {
+		app  core.Adaptive
+		prio int
+	}{
+		{a.Speech, PrioritySpeech},
+		{a.Video, PriorityVideo},
+		{a.Map, PriorityMap},
+		{a.Web, PriorityWeb},
+	} {
+		if a.Enabled(e.app.Name()) {
+			regs = append(regs, v.RegisterApp(e.app, e.prio))
+		}
 	}
+	return regs
 }
 
 // Health returns the named application's misbehavior surface, or nil for
@@ -120,20 +182,22 @@ func (a *Apps) Supervise(sup *supervise.Supervisor, regs []*core.Registration) {
 	}
 }
 
-// SetAllLowest drops every application to its lowest fidelity.
+// SetAllLowest drops every enabled application to its lowest fidelity.
 func (a *Apps) SetAllLowest() {
-	a.Video.SetLevel(0)
-	a.Speech.SetLevel(0)
-	a.Map.SetLevel(0)
-	a.Web.SetLevel(0)
+	for _, app := range []core.Adaptive{a.Video, a.Speech, a.Map, a.Web} {
+		if a.Enabled(app.Name()) {
+			app.SetLevel(0)
+		}
+	}
 }
 
-// SetAllHighest raises every application to full fidelity.
+// SetAllHighest raises every enabled application to full fidelity.
 func (a *Apps) SetAllHighest() {
-	a.Video.SetLevel(len(a.Video.Levels()) - 1)
-	a.Speech.SetLevel(len(a.Speech.Levels()) - 1)
-	a.Map.SetLevel(len(a.Map.Levels()) - 1)
-	a.Web.SetLevel(len(a.Web.Levels()) - 1)
+	for _, app := range []core.Adaptive{a.Video, a.Speech, a.Map, a.Web} {
+		if a.Enabled(app.Name()) {
+			app.SetLevel(len(app.Levels()) - 1)
+		}
+	}
 }
 
 // CompositeIteration performs one loop of the composite application: local
@@ -142,11 +206,17 @@ func (a *Apps) SetAllHighest() {
 // viewers' configured think times). The iteration index rotates through the
 // standard data objects.
 func (a *Apps) CompositeIteration(p *sim.Proc, i int) {
-	n := len(a.utterances)
-	a.Speech.Recognize(p, a.utterances[(2*i)%n])
-	a.Speech.Recognize(p, a.utterances[(2*i+1)%n])
-	a.Web.Fetch(p, a.images[i%len(a.images)])
-	a.Map.View(p, a.maps[i%len(a.maps)])
+	if a.Enabled(a.Speech.Name()) {
+		n := len(a.utterances)
+		a.Speech.Recognize(p, a.utterances[(2*i)%n])
+		a.Speech.Recognize(p, a.utterances[(2*i+1)%n])
+	}
+	if a.Enabled(a.Web.Name()) {
+		a.Web.Fetch(p, a.images[i%len(a.images)])
+	}
+	if a.Enabled(a.Map.Name()) {
+		a.Map.View(p, a.maps[i%len(a.maps)])
+	}
 }
 
 // RunComposite executes the composite application for the given number of
@@ -172,20 +242,24 @@ func (a *Apps) VideoLoop(p *sim.Proc, clip video.Clip, stop func() bool) {
 // until() reports true.
 func (a *Apps) StartGoalWorkload(period time.Duration, until func() bool) {
 	k := a.Rig.K
-	k.Spawn("video-loop", func(p *sim.Proc) {
-		clip := video.Clip{Name: "newsfeed", Length: 30 * time.Second}
-		a.VideoLoop(p, clip, until)
-	})
-	k.Spawn("composite-loop", func(p *sim.Proc) {
-		for i := 0; !until(); i++ {
-			iterStart := p.Now()
-			a.CompositeIteration(p, i)
-			next := iterStart + period
-			if next > p.Now() {
-				p.SleepUntil(next)
+	if a.Enabled(a.Video.Name()) {
+		k.Spawn("video-loop", func(p *sim.Proc) {
+			clip := video.Clip{Name: "newsfeed", Length: 30 * time.Second}
+			a.VideoLoop(p, clip, until)
+		})
+	}
+	if a.Enabled(a.Speech.Name()) || a.Enabled(a.Web.Name()) || a.Enabled(a.Map.Name()) {
+		k.Spawn("composite-loop", func(p *sim.Proc) {
+			for i := 0; !until(); i++ {
+				iterStart := p.Now()
+				a.CompositeIteration(p, i)
+				next := iterStart + period
+				if next > p.Now() {
+					p.SleepUntil(next)
+				}
 			}
-		}
-	})
+		})
+	}
 }
 
 // BurstyConfig parameterizes the stochastic workload of Figure 22.
@@ -212,7 +286,10 @@ func (a *Apps) StartBurstyWorkload(cfg BurstyConfig, until func() bool) {
 	k := a.Rig.K
 	rng := k.Rand()
 
-	slotted := func(name string, work func(p *sim.Proc, slot int)) {
+	slotted := func(name string, app string, work func(p *sim.Proc, slot int)) {
+		if !a.Enabled(app) {
+			return
+		}
 		k.Spawn(name, func(p *sim.Proc) {
 			active := rng.Float64() < 0.5
 			for slot := 0; !until(); slot++ {
@@ -230,21 +307,21 @@ func (a *Apps) StartBurstyWorkload(cfg BurstyConfig, until func() bool) {
 		})
 	}
 
-	slotted("bursty-video", func(p *sim.Proc, slot int) {
+	slotted("bursty-video", a.Video.Name(), func(p *sim.Proc, slot int) {
 		a.Video.Play(p, video.Clip{Name: "bursty-minute", Length: cfg.Slot - 5*time.Second})
 	})
-	slotted("bursty-speech", func(p *sim.Proc, slot int) {
+	slotted("bursty-speech", a.Speech.Name(), func(p *sim.Proc, slot int) {
 		for i := 0; i < 4; i++ {
 			a.Speech.Recognize(p, a.utterances[(slot+i)%len(a.utterances)])
 			p.Sleep(3 * time.Second)
 		}
 	})
-	slotted("bursty-map", func(p *sim.Proc, slot int) {
+	slotted("bursty-map", a.Map.Name(), func(p *sim.Proc, slot int) {
 		for i := 0; i < 5; i++ {
 			a.Map.View(p, a.maps[(slot+i)%len(a.maps)])
 		}
 	})
-	slotted("bursty-web", func(p *sim.Proc, slot int) {
+	slotted("bursty-web", a.Web.Name(), func(p *sim.Proc, slot int) {
 		for i := 0; i < 5; i++ {
 			a.Web.Fetch(p, a.images[(slot+i)%len(a.images)])
 		}

@@ -31,6 +31,12 @@
 #                                          byte-identical to serial, and a
 #                                          warm-cache rerun must serve every
 #                                          cell from the cache
+#  12. chaos smoke + corpus replay         a bounded soak (fixed seed, 20
+#                                          scenarios) under -race must pass
+#                                          every invariant sentinel, and
+#                                          every previously-failing scenario
+#                                          in the regression corpus must
+#                                          replay clean
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -96,6 +102,10 @@ if [ "${1:-}" != "fast" ]; then
     fi
     grep -q 'cache hit' "$smokedir/progress.log" || {
         echo "FAIL: warm-cache rerun produced no cache hits" >&2; exit 1; }
+
+    echo "==> chaos smoke (-race, 20 scenarios, fixed seed) + corpus replay"
+    go run -race ./cmd/odyssey-chaos -soak 20 -seed 7 -out "$smokedir/chaos-failures"
+    go run ./cmd/odyssey-chaos -corpus internal/chaos/testdata/corpus -v
 fi
 
 echo "ALL CHECKS PASSED"
