@@ -9,12 +9,16 @@
 package odyssey_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
 	"testing"
 	"time"
 
 	"odyssey/internal/app/env"
 	"odyssey/internal/app/video"
+	"odyssey/internal/chaos"
 	"odyssey/internal/experiment"
 	"odyssey/internal/powerscope"
 	"odyssey/internal/sim"
@@ -327,4 +331,96 @@ func BenchmarkRunGridParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_kernel.json: the machine-readable kernel-performance artifact.
+// ROADMAP item 2 (10-100x scenarios/sec) needs a tracked number to move;
+// this emits it. The schema is documented in EXPERIMENTS.md under
+// "Artifact: BENCH_kernel.json".
+
+// benchKernelReport is the BENCH_kernel.json schema. Add fields, never
+// rename: CI diffs these artifacts across commits.
+type benchKernelReport struct {
+	Schema     string           `json:"schema"` // "bench_kernel/v1"
+	GoVersion  string           `json:"go_version"`
+	Arch       string           `json:"arch"`
+	Benchmarks []benchKernelRow `json:"benchmarks"`
+	// ScenariosPerSec is end-to-end chaos-scenario throughput: full
+	// adversarial runs (faults, misbehavior, sentinels) per wall second.
+	ScenariosPerSec float64 `json:"scenarios_per_sec"`
+	Scenarios       int     `json:"scenarios"`
+}
+
+type benchKernelRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Ops         int     `json:"ops"`
+}
+
+// TestEmitBenchKernel writes BENCH_kernel.json when BENCH_KERNEL_OUT names
+// a path (and skips otherwise, so ordinary `go test` stays fast):
+//
+//	BENCH_KERNEL_OUT=BENCH_kernel.json go test -run TestEmitBenchKernel .
+func TestEmitBenchKernel(t *testing.T) {
+	out := os.Getenv("BENCH_KERNEL_OUT")
+	if out == "" {
+		t.Skip("set BENCH_KERNEL_OUT=path to emit the kernel benchmark artifact")
+	}
+
+	rep := benchKernelReport{
+		Schema:    "bench_kernel/v1",
+		GoVersion: runtime.Version(),
+		Arch:      runtime.GOOS + "/" + runtime.GOARCH,
+	}
+	for _, bm := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"KernelEvents", BenchmarkKernelEvents},
+		{"ProcessSwitch", BenchmarkProcessSwitch},
+		{"PSResource", BenchmarkPSResource},
+	} {
+		fn := bm.fn
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		rep.Benchmarks = append(rep.Benchmarks, benchKernelRow{
+			Name:        bm.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Ops:         r.N,
+		})
+	}
+
+	const nScenarios = 6
+	start := time.Now()
+	for seed := int64(1); seed <= nScenarios; seed++ {
+		if _, err := chaos.Run(chaos.Generate(seed)); err != nil {
+			t.Fatalf("chaos scenario seed %d: %v", seed, err)
+		}
+	}
+	wall := time.Since(start).Seconds()
+	rep.Scenarios = nScenarios
+	if wall > 0 {
+		rep.ScenariosPerSec = nScenarios / wall
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %d benchmarks, %.1f scenarios/sec", out, len(rep.Benchmarks), rep.ScenariosPerSec)
 }

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -160,6 +161,7 @@ func checkTrace(r *Report, res experiment.GoalResult) {
 		return
 	}
 	closers := make(map[string]string, len(bracketPairs))
+	//odylint:allow mapiter inverting a bijective literal map; distinct values make the write order immaterial
 	for open, close := range bracketPairs {
 		closers[close] = open
 	}
@@ -176,8 +178,13 @@ func checkTrace(r *Report, res experiment.GoalResult) {
 			}
 		}
 	}
-	for key, n := range balance {
-		if n != 0 {
+	keys := make([]string, 0, len(balance))
+	for key := range balance {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if n := balance[key]; n != 0 {
 			r.add(SentinelTrace, fmt.Sprintf("%s: %d window(s) never closed", key, n))
 			return
 		}

@@ -1,0 +1,43 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"odyssey/internal/experiment"
+	"odyssey/internal/trace"
+)
+
+// TestTraceSentinelReportIsOrderInvariant guards the sorted-key walk in
+// checkTrace: with several subjects leaking windows at once, the sentinel
+// must always report the same (lexicographically first) one, not whichever
+// map iteration surfaces first.
+func TestTraceSentinelReportIsOrderInvariant(t *testing.T) {
+	subjects := []string{"zeta", "link", "alpha", "server:s", "disk"}
+	times := make([]time.Duration, len(subjects))
+	cats := make([]trace.Category, len(subjects))
+	messages := make([]string, len(subjects))
+	for i := range subjects {
+		times[i] = time.Duration(i+1) * time.Second
+		cats[i] = trace.CatFault
+		messages[i] = "outage begin" // every subject leaks a window
+	}
+
+	var first string
+	for i := 0; i < 20; i++ {
+		log := syntheticLog(times, cats, subjects, messages)
+		var r Report
+		checkTrace(&r, experiment.GoalResult{Events: log})
+		if !r.Has(SentinelTrace) {
+			t.Fatal("leaked windows not caught")
+		}
+		got := r.String()
+		if i == 0 {
+			first = got
+			continue
+		}
+		if got != first {
+			t.Fatalf("sentinel report diverged:\nrun 1: %s\nrun %d: %s", first, i+1, got)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"odyssey/internal/app/env"
@@ -61,8 +62,15 @@ func runPolicy(name string, goal time.Duration, trials int, decentralized bool) 
 			met++
 		}
 		residuals = append(residuals, r.Residual)
-		for _, f := range r.MeanFidelity {
-			fidSum += f
+		// Sum in sorted-app order: float addition does not commute under
+		// rounding, and map order must not leak into the reported figure.
+		apps := make([]string, 0, len(r.MeanFidelity))
+		for app := range r.MeanFidelity {
+			apps = append(apps, app)
+		}
+		sort.Strings(apps)
+		for _, app := range apps {
+			fidSum += r.MeanFidelity[app]
 		}
 	}
 	// Average fidelity across apps and trials.

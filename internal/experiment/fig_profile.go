@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"odyssey/internal/app/env"
@@ -46,7 +47,16 @@ func Figure2(seed int64) *powerscope.EnergyProfile {
 			pf.Symbols.Declare("/usr/odyssey/bin/odyssey", "_rpc2_RecvPacket"),
 		},
 	}
-	for name, p := range procs {
+	// Walk the process table in sorted-name order: the rotator executes
+	// inside the simulation, so map iteration order must not decide the
+	// sequence of Exec transitions the trace records.
+	names := make([]string, 0, len(procs))
+	for name := range procs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := procs[name]
 		paths[p.PID] = p.Path
 		p.Exec(procedures[name][0])
 	}
@@ -54,9 +64,9 @@ func Figure2(seed int64) *powerscope.EnergyProfile {
 	var rotate func()
 	rotate = func() {
 		rot++
-		for name, p := range procs {
+		for _, name := range names {
 			list := procedures[name]
-			p.Exec(list[rot%len(list)])
+			procs[name].Exec(list[rot%len(list)])
 		}
 		rig.K.After(40*time.Millisecond, rotate)
 	}

@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Baseline: suppression with expiry.
+//
+// The module-wide analyzers surface real, pre-existing debt (the hot-path
+// allocation inventory above all). Failing CI on all of it at once would
+// either block every PR or push people to delete the analyzers; silently
+// ignoring it would let new debt hide behind old. The baseline is the
+// middle path, the same one production linters converged on: a checked-in
+// file grandfathers today's findings by exact identity, every entry names
+// an expiry date, and CI fails on anything not in the file - so new
+// findings fail immediately, grandfathered ones are tracked and ranked,
+// and nothing is grandfathered forever: when an entry expires, its finding
+// fires again and someone must either fix it or consciously re-justify a
+// new expiry in review.
+//
+// Entries match findings by (analyzer, file, message) - line numbers are
+// deliberately excluded so unrelated edits above a finding do not churn
+// the file. One entry suppresses every identical finding in its file,
+// which is the right granularity for messages that embed their own detail
+// (the hotalloc kind, the taint chain).
+//
+// File format, one entry per line, tab-separated:
+//
+//	expires=YYYY-MM-DD<TAB>analyzer<TAB>file<TAB>message
+//
+// Lines starting with '#' and blank lines are ignored. The file is
+// regenerated mechanically with `odylint -write-baseline`; the expiry of
+// retained entries is preserved, new entries get the default horizon.
+type Baseline struct {
+	Entries []BaselineEntry
+}
+
+// BaselineEntry is one grandfathered finding.
+type BaselineEntry struct {
+	Expires  time.Time `json:"expires"`
+	Analyzer string    `json:"analyzer"`
+	File     string    `json:"file"`
+	Message  string    `json:"message"`
+}
+
+func (e BaselineEntry) key() string {
+	return e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+}
+
+// String renders the entry in file format.
+func (e BaselineEntry) String() string {
+	return fmt.Sprintf("expires=%s\t%s\t%s\t%s",
+		e.Expires.Format("2006-01-02"), e.Analyzer, e.File, e.Message)
+}
+
+// entryFor derives the baseline identity of a diagnostic, with the file
+// path made module-relative so the baseline is location-independent.
+func entryFor(root string, d Diagnostic, expires time.Time) BaselineEntry {
+	return BaselineEntry{
+		Expires:  expires,
+		Analyzer: d.Analyzer,
+		File:     relPath(root, d.Pos.Filename),
+		Message:  d.Message,
+	}
+}
+
+// LoadBaseline parses a baseline file. A missing file is not an error: it
+// yields an empty baseline (everything fires), so bootstrapping needs no
+// special case.
+func LoadBaseline(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }() // read-only; close error carries no information
+
+	b := &Baseline{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 4)
+		if len(parts) != 4 || !strings.HasPrefix(parts[0], "expires=") {
+			return nil, fmt.Errorf("%s:%d: malformed baseline entry (want expires=YYYY-MM-DD<TAB>analyzer<TAB>file<TAB>message)", path, lineno)
+		}
+		exp, err := time.Parse("2006-01-02", strings.TrimPrefix(parts[0], "expires="))
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad expiry: %v", path, lineno, err)
+		}
+		b.Entries = append(b.Entries, BaselineEntry{
+			Expires: exp, Analyzer: parts[1], File: parts[2], Message: parts[3],
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// BaselineResult is the outcome of applying a baseline to a diagnostic set.
+type BaselineResult struct {
+	// Kept are the diagnostics that still fire: not in the baseline, or in
+	// it with an expired entry.
+	Kept []Diagnostic
+	// Suppressed counts diagnostics absorbed by live entries.
+	Suppressed int
+	// Expired lists entries past their date that still match a finding -
+	// their findings are in Kept; the entry identifies what to re-justify.
+	Expired []BaselineEntry
+	// Stale lists entries that match no current finding. Stale entries
+	// fail the run: a baseline must shrink as debt is paid, or it rots.
+	Stale []BaselineEntry
+}
+
+// Apply filters diags through the baseline as of now.
+func (b *Baseline) Apply(root string, diags []Diagnostic, now time.Time) BaselineResult {
+	live := map[string]BaselineEntry{}
+	expired := map[string]BaselineEntry{}
+	matched := map[string]bool{}
+	for _, e := range b.Entries {
+		if e.Expires.Before(now) {
+			expired[e.key()] = e
+		} else {
+			live[e.key()] = e
+		}
+	}
+
+	var res BaselineResult
+	expiredReported := map[string]bool{}
+	for _, d := range diags {
+		k := entryFor(root, d, time.Time{}).key()
+		if _, ok := live[k]; ok {
+			matched[k] = true
+			res.Suppressed++
+			continue
+		}
+		if e, ok := expired[k]; ok {
+			matched[k] = true
+			if !expiredReported[k] {
+				expiredReported[k] = true
+				res.Expired = append(res.Expired, e)
+			}
+		}
+		res.Kept = append(res.Kept, d)
+	}
+	for _, e := range b.Entries {
+		if !matched[e.key()] {
+			res.Stale = append(res.Stale, e)
+		}
+	}
+	sort.Slice(res.Stale, func(i, j int) bool { return res.Stale[i].String() < res.Stale[j].String() })
+	sort.Slice(res.Expired, func(i, j int) bool { return res.Expired[i].String() < res.Expired[j].String() })
+	return res
+}
+
+// ExpiringWithin returns entries whose expiry falls inside [now, now+d) -
+// the advance warning check.sh surfaces before CI starts failing.
+func (b *Baseline) ExpiringWithin(now time.Time, d time.Duration) []BaselineEntry {
+	var out []BaselineEntry
+	for _, e := range b.Entries {
+		if !e.Expires.Before(now) && e.Expires.Before(now.Add(d)) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// WriteBaseline regenerates a baseline from the current diagnostics:
+// entries still matched keep their existing expiry, new findings get
+// newExpiry. The result is sorted and deduplicated.
+func WriteBaseline(path, root string, prior *Baseline, diags []Diagnostic, newExpiry time.Time) error {
+	keep := map[string]time.Time{}
+	if prior != nil {
+		for _, e := range prior.Entries {
+			keep[e.key()] = e.Expires
+		}
+	}
+	seen := map[string]bool{}
+	var entries []BaselineEntry
+	for _, d := range diags {
+		e := entryFor(root, d, newExpiry)
+		if exp, ok := keep[e.key()]; ok {
+			e.Expires = exp
+		}
+		if seen[e.key()] {
+			continue
+		}
+		seen[e.key()] = true
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+
+	var sb strings.Builder
+	sb.WriteString("# odylint.baseline - grandfathered findings with expiry.\n")
+	sb.WriteString("# Regenerate with: go run ./cmd/odylint -baseline odylint.baseline -write-baseline ./...\n")
+	sb.WriteString("# An expired entry makes its finding fire again; a stale entry fails the run.\n")
+	for _, e := range entries {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}

@@ -36,6 +36,11 @@ var detrandPackages = []string{
 	"internal/faults",
 	"internal/supervise",
 	"internal/chaos",
+	// trace and powerscope run on the virtual clock and feed the
+	// byte-compared outputs; they joined the governed set with the
+	// whole-module taint/mapiter analyzers (PR 6).
+	"internal/trace",
+	"internal/powerscope",
 }
 
 // detrandForbidden maps package path -> forbidden member -> short reason.

@@ -13,8 +13,12 @@ import (
 //
 //	//odylint:allow analyzer1,analyzer2 <justification>
 //
-// silences the named analyzers on the directive's own line (trailing
-// comment) and on the line immediately below it (standalone comment).
+// silences the named analyzers on the directive's own line and on the
+// statement that follows it. For a standalone comment above a multi-line
+// statement (or declaration), the whole extent of that statement is
+// covered - a directive above a call whose offending argument sits three
+// lines down still applies. Spaces after the commas are tolerated
+// ("analyzer1, analyzer2 reason" names two analyzers, not one and a half).
 // The justification is free text; write one. Directives exist for the rare
 // case where a rule's letter conflicts with its spirit - a deliberately
 // exact float comparison in a tie-break, an invariant panic that guards
@@ -23,8 +27,32 @@ import (
 const directivePrefix = "odylint:allow"
 
 // collectDirectives records, for every //odylint:allow comment in file,
-// "filename:line:analyzer" keys for the directive line and the line after.
+// "filename:line:analyzer" keys for each covered line: the directive's own
+// line, the line after, and - when a statement or declaration begins on
+// either of those lines - every line through that node's end.
 func collectDirectives(fset *token.FileSet, file *ast.File, allow map[string]bool) {
+	// extent[start line] = furthest end line of any *simple* multi-line
+	// statement or declaration beginning there. Block-carrying statements
+	// (if, for, switch, function declarations) and statements containing
+	// function literals are excluded: extending a directive over a whole
+	// block would suppress far more than the author aimed at.
+	extent := map[int]int{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt, *ast.DeclStmt,
+			*ast.SendStmt, *ast.IncDecStmt, *ast.GenDecl, *ast.ValueSpec:
+			if containsFuncLit(n) {
+				return true
+			}
+			s := fset.Position(n.Pos()).Line
+			e := fset.Position(n.End()).Line
+			if e > extent[s] {
+				extent[s] = e
+			}
+		}
+		return true
+	})
+
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
@@ -33,18 +61,53 @@ func collectDirectives(fset *token.FileSet, file *ast.File, allow map[string]boo
 				continue
 			}
 			rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
-			names, _, _ := strings.Cut(rest, " ")
+			names := splitDirectiveNames(rest)
 			pos := fset.Position(c.Pos())
-			for _, name := range strings.Split(names, ",") {
-				name = strings.TrimSpace(name)
-				if name == "" {
-					continue
+			last := pos.Line + 1
+			for _, start := range []int{pos.Line, pos.Line + 1} {
+				if e := extent[start]; e > last {
+					last = e
 				}
-				allow[fmt.Sprintf("%s:%d:%s", pos.Filename, pos.Line, name)] = true
-				allow[fmt.Sprintf("%s:%d:%s", pos.Filename, pos.Line+1, name)] = true
+			}
+			for _, name := range names {
+				for line := pos.Line; line <= last; line++ {
+					allow[fmt.Sprintf("%s:%d:%s", pos.Filename, line, name)] = true
+				}
 			}
 		}
 	}
+}
+
+// containsFuncLit reports whether n's subtree holds a function literal.
+func containsFuncLit(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// splitDirectiveNames extracts the analyzer-name list from a directive's
+// argument text. Names are comma-separated; a comma may be followed by
+// whitespace, so the list extends across fields while each consumed field
+// ends in a comma. Everything after the list is the justification.
+func splitDirectiveNames(rest string) []string {
+	var names []string
+	for _, f := range strings.Fields(rest) {
+		trailing := strings.HasSuffix(f, ",")
+		for _, name := range strings.Split(f, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+		if !trailing {
+			break
+		}
+	}
+	return names
 }
 
 // pathHasSuffix reports whether import path p ends with the slash-separated

@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTaintCatchesLaundering is the analyzer's reason to exist: detrand's
+// package-local view must stay silent on the laundering fixture, while
+// taint reports it with the full call chain down to the source.
+func TestTaintCatchesLaundering(t *testing.T) {
+	mod := loadFixture(t)
+
+	for _, d := range RunModule(mod, []*Analyzer{Detrand}, nil) {
+		if strings.HasSuffix(d.Pos.Filename, "launder.go") {
+			t.Errorf("detrand unexpectedly fired on launder.go: %s", d)
+		}
+	}
+
+	var msgs []string
+	for _, d := range RunModule(mod, []*Analyzer{Taint}, nil) {
+		if strings.HasSuffix(d.Pos.Filename, "launder.go") {
+			msgs = append(msgs, d.Message)
+		}
+	}
+	if len(msgs) != 2 {
+		t.Fatalf("taint findings on launder.go = %d, want 2 (call + reference):\n%s",
+			len(msgs), strings.Join(msgs, "\n"))
+	}
+	wantChain := "util.Elapsed -> util.Stamp -> time.Since"
+	foundChain, foundRef := false, false
+	for _, m := range msgs {
+		if strings.Contains(m, wantChain) {
+			foundChain = true
+		}
+		if strings.Contains(m, "reference to") && strings.Contains(m, "util.Stamp -> time.Since") {
+			foundRef = true
+		}
+	}
+	if !foundChain {
+		t.Errorf("no taint message carries the transitive chain %q:\n%s", wantChain, strings.Join(msgs, "\n"))
+	}
+	if !foundRef {
+		t.Errorf("no taint message reports the creation-edge reference with its chain:\n%s", strings.Join(msgs, "\n"))
+	}
+}
+
+// TestOdysseydebugFilesLoaded is the loader regression test: files behind
+// the odysseydebug build tag must be loaded, their untagged twins must not.
+func TestOdysseydebugFilesLoaded(t *testing.T) {
+	mod := loadFixture(t)
+	var names []string
+	for _, pkg := range mod.Pkgs {
+		if pkg.Path != "fixture/internal/power" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			names = append(names, filepath.Base(mod.Fset.Position(f.Pos()).Filename))
+		}
+	}
+	has := func(name string) bool {
+		for _, n := range names {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("debugtag_on.go") {
+		t.Errorf("odysseydebug-tagged file not loaded; fixture/internal/power files: %v", names)
+	}
+	if has("debugtag_off.go") {
+		t.Errorf("untagged twin loaded despite the odysseydebug tag; files: %v", names)
+	}
+}
+
+// TestSplitDirectiveNames pins the comma-and-space tolerant name-list
+// grammar: the list extends across fields while each field ends in a comma,
+// and everything after it is justification.
+func TestSplitDirectiveNames(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"detrand reason text", []string{"detrand"}},
+		{"detrand,floateq reason", []string{"detrand", "floateq"}},
+		{"detrand, floateq reason", []string{"detrand", "floateq"}},
+		{"detrand,  floateq, mapiter why not", []string{"detrand", "floateq", "mapiter"}},
+		{"detrand", []string{"detrand"}},
+		{"", nil},
+	}
+	for _, c := range cases {
+		if got := splitDirectiveNames(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("splitDirectiveNames(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestHotallocReportRanking checks the fixture module's ranked report:
+// ranks are contiguous from 1 and in-loop sites sort ahead of the rest.
+func TestHotallocReportRanking(t *testing.T) {
+	mod := loadFixture(t)
+	sites := mod.HotallocReport()
+	if len(sites) < 3 {
+		t.Fatalf("fixture hot report has %d site(s), want >= 3: %+v", len(sites), sites)
+	}
+	sawCold := false
+	for i, s := range sites {
+		if s.Rank != i+1 {
+			t.Errorf("site %d has rank %d, want %d", i, s.Rank, i+1)
+		}
+		if s.Root == "" || s.Func == "" || s.Kind == "" {
+			t.Errorf("site %+v missing root/func/kind", s)
+		}
+		if !s.InLoop {
+			sawCold = true
+		} else if sawCold {
+			t.Errorf("in-loop site %+v ranked below an out-of-loop site", s)
+		}
+	}
+}
+
+func mkDiag(file, analyzer, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: "/mod/" + file, Line: 10, Column: 2},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+func day(s string) time.Time {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TestBaselineApply covers the four entry states: live (suppresses),
+// expired (finding fires again, entry reported), stale (no matching
+// finding, fails the run), and absent (finding kept).
+func TestBaselineApply(t *testing.T) {
+	b := &Baseline{Entries: []BaselineEntry{
+		{Expires: day("2030-01-01"), Analyzer: "hotalloc", File: "a.go", Message: "live entry"},
+		{Expires: day("2020-01-01"), Analyzer: "hotalloc", File: "b.go", Message: "expired entry"},
+		{Expires: day("2030-01-01"), Analyzer: "mapiter", File: "c.go", Message: "stale entry"},
+	}}
+	diags := []Diagnostic{
+		mkDiag("a.go", "hotalloc", "live entry"),
+		mkDiag("b.go", "hotalloc", "expired entry"),
+		mkDiag("d.go", "taint", "new finding"),
+	}
+	res := b.Apply("/mod", diags, day("2025-06-01"))
+
+	if res.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1", res.Suppressed)
+	}
+	if len(res.Kept) != 2 {
+		t.Fatalf("Kept = %d diagnostics, want 2 (expired + new): %v", len(res.Kept), res.Kept)
+	}
+	if res.Kept[0].Message != "expired entry" || res.Kept[1].Message != "new finding" {
+		t.Errorf("Kept = %v", res.Kept)
+	}
+	if len(res.Expired) != 1 || res.Expired[0].Message != "expired entry" {
+		t.Errorf("Expired = %v, want the b.go entry", res.Expired)
+	}
+	if len(res.Stale) != 1 || res.Stale[0].Message != "stale entry" {
+		t.Errorf("Stale = %v, want the c.go entry", res.Stale)
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline, reloads it, and re-applies it:
+// retained entries keep their expiry, new findings get the default horizon,
+// and the reloaded file suppresses exactly what it was built from.
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "odylint.baseline")
+	diags := []Diagnostic{
+		mkDiag("a.go", "hotalloc", "first"),
+		mkDiag("a.go", "hotalloc", "first"), // duplicate identity: deduplicated
+		mkDiag("b.go", "mapiter", "second"),
+	}
+	prior := &Baseline{Entries: []BaselineEntry{
+		{Expires: day("2031-03-03"), Analyzer: "hotalloc", File: "a.go", Message: "first"},
+	}}
+	if err := WriteBaseline(path, "/mod", prior, diags, day("2026-01-01")); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 2 {
+		t.Fatalf("reloaded %d entries, want 2: %v", len(b.Entries), b.Entries)
+	}
+	if !b.Entries[0].Expires.Equal(day("2031-03-03")) {
+		t.Errorf("retained entry lost its expiry: %v", b.Entries[0])
+	}
+	if !b.Entries[1].Expires.Equal(day("2026-01-01")) {
+		t.Errorf("new entry did not get the default horizon: %v", b.Entries[1])
+	}
+
+	res := b.Apply("/mod", diags, day("2025-06-01"))
+	if len(res.Kept) != 0 || res.Suppressed != 3 || len(res.Stale) != 0 {
+		t.Errorf("round-tripped baseline: kept=%v suppressed=%d stale=%v, want 0/3/0",
+			res.Kept, res.Suppressed, res.Stale)
+	}
+}
+
+// TestBaselineMissingAndMalformed: a missing file is an empty baseline (the
+// bootstrap case); a malformed line is a hard error, not a silent skip.
+func TestBaselineMissingAndMalformed(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || len(b.Entries) != 0 {
+		t.Errorf("missing baseline: entries=%v err=%v, want empty and nil", b.Entries, err)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad")
+	if err := os.WriteFile(bad, []byte("# comment ok\nexpires=2030-01-01 no tabs here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(bad); err == nil {
+		t.Error("malformed baseline line loaded without error")
+	}
+}
+
+// TestExpiringWithin checks the advance-warning window arithmetic.
+func TestExpiringWithin(t *testing.T) {
+	b := &Baseline{Entries: []BaselineEntry{
+		{Expires: day("2025-06-10"), Analyzer: "a", File: "f", Message: "soon"},
+		{Expires: day("2025-09-01"), Analyzer: "a", File: "f", Message: "later"},
+		{Expires: day("2025-01-01"), Analyzer: "a", File: "f", Message: "already past"},
+	}}
+	got := b.ExpiringWithin(day("2025-06-01"), 30*24*time.Hour)
+	if len(got) != 1 || got[0].Message != "soon" {
+		t.Errorf("ExpiringWithin = %v, want only the 2025-06-10 entry", got)
+	}
+}
+
+// TestRealModuleHotPath loads the actual repository and checks the
+// acceptance floor: the ranked hot-path report carries at least 5 sites.
+// Skipped under -short: it type-checks the whole module.
+func TestRealModuleHotPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the full module")
+	}
+	mod, err := LoadModule("../..")
+	if err != nil {
+		t.Fatalf("LoadModule(../..): %v", err)
+	}
+	sites := mod.HotallocReport()
+	if len(sites) < 5 {
+		t.Errorf("real-module hot report has %d site(s), want >= 5", len(sites))
+	}
+	for i, s := range sites {
+		if s.Rank != i+1 {
+			t.Fatalf("site %d has rank %d, want %d", i, s.Rank, i+1)
+		}
+	}
+}

@@ -23,10 +23,20 @@
 //   - droppederr: flags silently discarded error returns.
 //   - upcallsync: forbids re-entering Viceroy.UpdateResource synchronously
 //     from inside an upcall handler in the deterministic packages.
+//   - taint:      whole-module reachability over the call graph
+//     (callgraph.go): nondeterminism sources laundered through helper
+//     packages are reported at the call site with the full chain.
+//   - mapiter:    order-sensitive map iteration in the deterministic
+//     packages, with a dataflow check proving counting/summing/keyed
+//     writes and collect-then-sort safe.
+//   - hotalloc:   per-event allocations in functions reachable from the
+//     kernel event loop and power integrator, plus a module-wide ranked
+//     report (Module.HotallocReport) seeding the perf roadmap.
 //
 // A diagnostic can be suppressed, with justification, by an
 // "//odylint:allow <analyzer>" comment on or directly above the offending
-// line; see directives.go.
+// line (directives.go), or grandfathered with an expiry through a checked
+// in baseline file (baseline.go).
 package lint
 
 import (
@@ -64,6 +74,9 @@ func All() []*Analyzer {
 		Panicfree,
 		Droppederr,
 		Upcallsync,
+		Taint,
+		Mapiter,
+		Hotalloc,
 	}
 }
 

@@ -21,6 +21,10 @@ type Module struct {
 	Path string // module path declared in go.mod
 	Fset *token.FileSet
 	Pkgs []*Package // sorted by import path
+
+	graph *CallGraph // lazily built by Graph()
+	taint *taintFacts // lazily computed by taintOf()
+	hot   *hotFacts   // lazily computed by hotOf()
 }
 
 // Package is one type-checked package of the module.
@@ -52,6 +56,12 @@ var moduleLineRE = regexp.MustCompile(`(?m)^module\s+(\S+)\s*$`)
 // directories; test files are not loaded - odylint governs library code),
 // parses and type-checks them all, and returns the module.
 //
+// Packages are loaded with the odysseydebug build tag set, so the
+// conservation-assertion code behind that tag is linted like everything
+// else - untagged builds used to let it escape analysis entirely. The tag
+// selects debug_on.go over debug_off.go (they declare the same symbols),
+// so type-checking stays consistent.
+//
 // Standard-library imports are type-checked from GOROOT source via
 // go/importer's "source" compiler, so no compiled export data and no
 // external tooling is needed.
@@ -66,8 +76,11 @@ func LoadModule(dir string) (*Module, error) {
 	}
 
 	fset := token.NewFileSet()
+	ctx := build.Default
+	ctx.BuildTags = append(append([]string{}, ctx.BuildTags...), "odysseydebug")
 	ld := &loader{
 		fset:     fset,
+		ctx:      ctx,
 		modPath:  modPath,
 		root:     root,
 		dirs:     map[string]string{},
@@ -114,6 +127,7 @@ func findModule(dir string) (root, modPath string, err error) {
 
 type loader struct {
 	fset     *token.FileSet
+	ctx      build.Context // build.Default plus the odysseydebug tag
 	modPath  string
 	root     string
 	dirs     map[string]string // import path -> directory
@@ -137,7 +151,7 @@ func (l *loader) discover() error {
 			name == "testdata" || name == "vendor") {
 			return filepath.SkipDir
 		}
-		bp, err := build.Default.ImportDir(path, 0)
+		bp, err := l.ctx.ImportDir(path, 0)
 		if err != nil {
 			if _, ok := err.(*build.NoGoError); ok {
 				return nil
@@ -197,7 +211,7 @@ func (l *loader) load(path string) (*Package, error) {
 	if !ok {
 		return nil, fmt.Errorf("package %s not found in module %s", path, l.modPath)
 	}
-	bp, err := build.Default.ImportDir(dir, 0)
+	bp, err := l.ctx.ImportDir(dir, 0)
 	if err != nil {
 		return nil, err
 	}

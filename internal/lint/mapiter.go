@@ -1,0 +1,416 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Mapiter flags `range` statements over maps in the deterministic packages
+// whose iteration order can leak into output. Go randomizes map iteration
+// per run, so any order-dependent effect in such a loop makes two runs with
+// the same seed diverge - the exact failure mode the byte-identical
+// determinism gates exist to catch, except that a map range can pass those
+// gates for months and then flip on an unlucky hash seed.
+//
+// Not every map range is a bug, and flagging them all would teach people to
+// scatter //odylint:allow. A small dataflow check proves the common
+// order-insensitive shapes safe:
+//
+//   - commutative integer accumulation: n++, n += v, bit-or/and/xor folds;
+//   - writes keyed by the range key: m2[k] = v, delete(m2, k) - distinct
+//     keys, so order cannot matter;
+//   - key-selected bodies: statements guarded by `if k == <expr>` run for
+//     at most one iteration, so break/return/assignment inside are safe;
+//   - locals: declarations and writes to variables scoped to the loop body;
+//   - collect-then-sort: when the loop's only escaping effect is appending
+//     to one slice and the statement immediately after the loop sorts it
+//     (sort.Strings/Ints/Float64s/Slice/SliceStable/Sort, slices.Sort*),
+//     the order is re-established before anything can observe it.
+//
+// Everything else is order-sensitive until proven otherwise; in particular
+// floating-point accumulation (sum += watts) IS flagged, because FP
+// addition does not commute in rounding - the accountant keeps a sorted
+// component list for precisely this reason.
+var Mapiter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "forbid order-sensitive map iteration in deterministic packages",
+	Run:  runMapiter,
+}
+
+func runMapiter(pass *Pass) {
+	if !inAnyPackage(pass.Pkg.Path, detrandPackages) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := info.TypeOf(rs.X)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				var follow ast.Stmt
+				if i+1 < len(block.List) {
+					follow = block.List[i+1]
+				}
+				c := &mapiterCheck{pass: pass, rs: rs}
+				c.check(follow)
+			}
+			return true
+		})
+	}
+}
+
+// mapiterCheck judges one map range statement.
+type mapiterCheck struct {
+	pass *Pass
+	rs   *ast.RangeStmt
+
+	// unsafe records the first order-sensitive statement and why.
+	unsafePos token.Pos
+	unsafeWhy string
+
+	// appendVars collects `x = append(x, ...)` targets seen in the body;
+	// non-nil entries feed the collect-then-sort escape hatch.
+	appendVars map[*types.Var]bool
+	// otherEscapes is set when anything besides appends is unsafe, which
+	// disables the sort escape hatch.
+	otherEscapes bool
+}
+
+func (c *mapiterCheck) check(follow ast.Stmt) {
+	c.appendVars = map[*types.Var]bool{}
+	c.stmts(c.rs.Body.List, false)
+
+	if c.unsafePos == token.NoPos {
+		return // every statement proved order-insensitive
+	}
+	// Collect-then-sort: appends were the only escaping effect and the next
+	// statement restores a deterministic order.
+	if !c.otherEscapes && len(c.appendVars) == 1 && sortsVar(c.pass.Pkg.Info, follow, c.appendVars) {
+		return
+	}
+	c.pass.Reportf(c.rs.Pos(),
+		"map iteration order can reach output in deterministic package %s: %s (sort the keys first, or restructure; see %s)",
+		c.pass.Pkg.Path, c.unsafeWhy, c.pass.Module.Fset.Position(c.unsafePos))
+}
+
+func (c *mapiterCheck) mark(pos token.Pos, why string, isAppend bool) {
+	if !isAppend {
+		c.otherEscapes = true
+	}
+	if c.unsafePos == token.NoPos {
+		c.unsafePos, c.unsafeWhy = pos, why
+	}
+}
+
+// stmts judges a statement list; keySelected is true inside an
+// `if k == ...` guard, where at most one iteration executes the body.
+func (c *mapiterCheck) stmts(list []ast.Stmt, keySelected bool) {
+	for _, s := range list {
+		c.stmt(s, keySelected)
+	}
+}
+
+func (c *mapiterCheck) stmt(s ast.Stmt, keySelected bool) {
+	if keySelected {
+		return // at most one iteration runs this; order cannot matter
+	}
+	switch s := s.(type) {
+	case *ast.DeclStmt, *ast.EmptyStmt:
+		return
+	case *ast.AssignStmt:
+		c.assign(s)
+	case *ast.IncDecStmt:
+		if !c.localOrKeyed(s.X) && !isIntType(c.pass.Pkg.Info.TypeOf(s.X)) {
+			c.mark(s.Pos(), "non-integer increment of outer state", false)
+		}
+	case *ast.IfStmt:
+		sel := c.isKeySelected(s.Cond)
+		c.stmts(s.Body.List, sel)
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				c.stmts(e.List, false)
+			default:
+				c.stmt(e, false)
+			}
+		}
+	case *ast.BlockStmt:
+		c.stmts(s.List, false)
+	case *ast.ForStmt:
+		c.stmts(s.Body.List, false)
+	case *ast.RangeStmt:
+		c.stmts(s.Body.List, false)
+	case *ast.SwitchStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.stmts(cl.Body, false)
+			}
+		}
+	case *ast.BranchStmt:
+		if s.Tok == token.BREAK {
+			c.mark(s.Pos(), "break chooses an iteration-order-dependent stopping point", false)
+		}
+	case *ast.ReturnStmt:
+		c.mark(s.Pos(), "return yields a value chosen by iteration order", false)
+	case *ast.ExprStmt:
+		c.exprStmt(s)
+	case *ast.SendStmt, *ast.GoStmt, *ast.DeferStmt:
+		c.mark(s.Pos(), "channel/goroutine effect observes iteration order", false)
+	default:
+		c.mark(s.Pos(), "statement not provably order-insensitive", false)
+	}
+}
+
+func (c *mapiterCheck) assign(s *ast.AssignStmt) {
+	info := c.pass.Pkg.Info
+	// x = append(x, ...) is recorded for the collect-then-sort check.
+	if s.Tok == token.ASSIGN && len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if v, ok := appendToSame(info, s.Lhs[0], s.Rhs[0]); ok {
+			if c.localVar(v) {
+				return // growing a body-local slice never escapes
+			}
+			c.appendVars[v] = true
+			c.mark(s.Pos(), "append order follows iteration order", true)
+			return
+		}
+	}
+	switch s.Tok {
+	case token.DEFINE:
+		return // body-local declaration
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		for _, lhs := range s.Lhs {
+			if c.localOrKeyed(lhs) {
+				continue
+			}
+			t := info.TypeOf(lhs)
+			if isIntType(t) {
+				continue // integer +/- commutes exactly
+			}
+			why := "floating-point accumulation depends on iteration order (rounding does not commute)"
+			if !isFloatType(t) {
+				why = "order-dependent accumulation into outer state"
+			}
+			c.mark(s.Pos(), why, false)
+		}
+	case token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		return // bitwise folds commute
+	case token.ASSIGN:
+		for _, lhs := range s.Lhs {
+			if c.localOrKeyed(lhs) {
+				continue
+			}
+			c.mark(s.Pos(), "plain assignment to outer state: last writer wins by iteration order", false)
+		}
+	default:
+		c.mark(s.Pos(), "assignment not provably order-insensitive", false)
+	}
+}
+
+func (c *mapiterCheck) exprStmt(s *ast.ExprStmt) {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok {
+		c.mark(s.Pos(), "expression statement not provably order-insensitive", false)
+		return
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, isB := c.pass.Pkg.Info.Uses[id].(*types.Builtin); isB {
+			switch b.Name() {
+			case "delete", "len", "cap", "min", "max":
+				return
+			}
+		}
+	}
+	c.mark(s.Pos(), "call may observe iteration order", false)
+}
+
+// localOrKeyed reports whether lhs is safe to write every iteration: a
+// variable declared inside the loop body, or a map index keyed by an
+// expression that mentions the range key (distinct keys, no collisions).
+func (c *mapiterCheck) localOrKeyed(lhs ast.Expr) bool {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return true
+		}
+		if v, ok := c.pass.Pkg.Info.Uses[lhs].(*types.Var); ok {
+			return c.localVar(v)
+		}
+		if v, ok := c.pass.Pkg.Info.Defs[lhs].(*types.Var); ok {
+			return c.localVar(v)
+		}
+	case *ast.IndexExpr:
+		if t := c.pass.Pkg.Info.TypeOf(lhs.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				return c.mentionsKey(lhs.Index)
+			}
+		}
+	}
+	return false
+}
+
+// localVar reports whether v is declared within the range body (including
+// the range's own key/value variables).
+func (c *mapiterCheck) localVar(v *types.Var) bool {
+	return v.Pos() >= c.rs.Pos() && v.Pos() <= c.rs.End()
+}
+
+// mentionsKey reports whether expr references the range statement's key
+// variable.
+func (c *mapiterCheck) mentionsKey(expr ast.Expr) bool {
+	key := c.keyVar()
+	if key == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if c.pass.Pkg.Info.Uses[id] == key {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (c *mapiterCheck) keyVar() types.Object {
+	id, ok := c.rs.Key.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return c.pass.Pkg.Info.Defs[id]
+}
+
+// isKeySelected reports whether cond contains `k == <expr>` (either side)
+// on the range key, restricting the guarded body to one iteration.
+func (c *mapiterCheck) isKeySelected(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.EQL {
+			return true
+		}
+		if c.mentionsKey(be.X) || c.mentionsKey(be.Y) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// appendToSame matches `x = append(x, ...)` and returns x's variable.
+func appendToSame(info *types.Info, lhs, rhs ast.Expr) (*types.Var, bool) {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil, false
+	}
+	fid, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	if b, isB := info.Uses[fid].(*types.Builtin); !isB || b.Name() != "append" {
+		return nil, false
+	}
+	lid, ok := lhs.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	aid, ok := call.Args[0].(*ast.Ident)
+	if !ok || lid.Name != aid.Name {
+		return nil, false
+	}
+	v, ok := objVar(info, lid)
+	if !ok {
+		return nil, false
+	}
+	return v, true
+}
+
+func objVar(info *types.Info, id *ast.Ident) (*types.Var, bool) {
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v, true
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v, true
+	}
+	return nil, false
+}
+
+// sortsVar reports whether stmt is a recognized sort call over one of the
+// append targets: sort.Strings/Ints/Float64s/Slice/SliceStable/Sort or
+// slices.Sort/SortFunc/SortStableFunc.
+func sortsVar(info *types.Info, stmt ast.Stmt, vars map[*types.Var]bool) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pid, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := info.Uses[pid].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	switch pkgName.Imported().Path() {
+	case "sort":
+		switch sel.Sel.Name {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+		default:
+			return false
+		}
+	case "slices":
+		switch sel.Sel.Name {
+		case "Sort", "SortFunc", "SortStableFunc":
+		default:
+			return false
+		}
+	default:
+		return false
+	}
+	aid, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := objVar(info, aid)
+	return ok && vars[v]
+}
+
+func isIntType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

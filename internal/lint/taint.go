@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Taint tracks nondeterminism through the call graph. Detrand (the PR 1
+// analyzer) forbids *direct* wall-clock, environment, and global-RNG reads
+// inside the deterministic packages, but its package-local view cannot see
+// the same reads laundered through a helper: a function in an ungoverned
+// package that calls time.Now is, to detrand, just an ordinary call target.
+// This analyzer closes that hole with reachability: any module function
+// whose body (or any function it transitively calls or constructs) touches
+// a nondeterminism source is tainted, and a call from a deterministic
+// package to a tainted function in an ungoverned package is reported with
+// the full chain from call site to source.
+//
+// The taint lattice is the simplest possible: a node is clean or tainted,
+// sources are the exact member set detrand forbids (time.Now/Since, os
+// environment reads, global math/rand state), and taint propagates from
+// callee to caller over both call and creation edges - constructing a
+// closure that reads the wall clock is as suspect as calling it, because
+// the kernel will eventually invoke it. Edges wholly inside the governed
+// set are not re-reported (detrand already fires at the source, and this
+// analyzer fires where the chain first leaves the governed packages), so
+// each laundering path yields exactly one diagnostic at its entry point.
+var Taint = &Analyzer{
+	Name: "taint",
+	Doc:  "forbid nondeterminism (wall clock, environment, global rand) reaching deterministic packages through helper calls",
+	Run:  runTaint,
+}
+
+// taintFacts is the module-level fixpoint: for every tainted node, the next
+// hop toward a source and, at the chain's end, the source description.
+type taintFacts struct {
+	next   map[*Node]*Node  // tainted node -> tainted callee (nil at the source node)
+	source map[*Node]string // source node -> "time.Now" etc.
+}
+
+// taintOf computes (and memoizes) the taint fixpoint for the module.
+func (m *Module) taintOf() *taintFacts {
+	if m.taint != nil {
+		return m.taint
+	}
+	g := m.Graph()
+	tf := &taintFacts{next: map[*Node]*Node{}, source: map[*Node]string{}}
+
+	// Seed: nodes whose own body references a forbidden member.
+	var frontier []*Node
+	for _, n := range g.Nodes {
+		if src := directSource(n); src != "" {
+			tf.source[n] = src
+			tf.next[n] = nil
+			frontier = append(frontier, n)
+		}
+	}
+
+	// Reverse-propagate to callers/creators until the frontier drains.
+	// Edges are scanned per round rather than via a prebuilt reverse index;
+	// the module is small and the fixpoint reaches in a handful of rounds.
+	tainted := map[*Node]bool{}
+	for _, n := range frontier {
+		tainted[n] = true
+	}
+	for len(frontier) > 0 {
+		var nextFrontier []*Node
+		for _, n := range g.Nodes {
+			if tainted[n] {
+				continue
+			}
+			for _, e := range n.Out {
+				if tainted[e.To] {
+					tainted[n] = true
+					tf.next[n] = e.To
+					nextFrontier = append(nextFrontier, n)
+					break
+				}
+			}
+		}
+		frontier = nextFrontier
+	}
+	m.taint = tf
+	return tf
+}
+
+// directSource returns a description of the first forbidden member n's own
+// body references ("time.Now", "rand.Intn", ...), or "".
+func directSource(n *Node) string {
+	info := n.Pkg.Info
+	src := ""
+	for _, stmt := range n.Body.List {
+		if src != "" {
+			break
+		}
+		ast.Inspect(stmt, func(node ast.Node) bool {
+			if src != "" {
+				return false
+			}
+			if _, ok := node.(*ast.FuncLit); ok {
+				return false // nested literals are their own nodes
+			}
+			sel, ok := node.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := info.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pkgName.Imported().Path()
+			member := sel.Sel.Name
+			switch path {
+			case "math/rand", "math/rand/v2":
+				if _, isType := info.Uses[sel.Sel].(*types.TypeName); isType {
+					return true
+				}
+				if !detrandRandAllowed[member] {
+					src = "rand." + member
+				}
+			default:
+				if _, bad := detrandForbidden[path][member]; bad {
+					src = path + "." + member
+				}
+			}
+			return true
+		})
+	}
+	return src
+}
+
+// Tainted reports whether a node reaches a nondeterminism source, with the
+// chain from n to the source rendered for diagnostics.
+func (tf *taintFacts) chain(n *Node) string {
+	var parts []string
+	for hop := n; hop != nil; {
+		parts = append(parts, hop.Name())
+		if src, isSrc := tf.source[hop]; isSrc {
+			parts = append(parts, src)
+			break
+		}
+		hop = tf.next[hop]
+	}
+	return strings.Join(parts, " -> ")
+}
+
+func (tf *taintFacts) isTainted(n *Node) bool {
+	_, ok := tf.next[n]
+	return ok
+}
+
+func runTaint(pass *Pass) {
+	if !inAnyPackage(pass.Pkg.Path, detrandPackages) {
+		return
+	}
+	tf := pass.Module.taintOf()
+	g := pass.Module.Graph()
+	for _, n := range g.Nodes {
+		if n.Pkg != pass.Pkg {
+			continue
+		}
+		for _, e := range n.Out {
+			if !tf.isTainted(e.To) {
+				continue
+			}
+			// Report only where the chain leaves the governed set: calls
+			// between governed functions are either caught at the direct
+			// source by detrand or at their own exit edge by this rule.
+			if inAnyPackage(e.To.Pkg.Path, detrandPackages) {
+				continue
+			}
+			verb := "call to"
+			if e.Kind == EdgeCreate {
+				verb = "reference to"
+			}
+			pass.Reportf(e.Pos,
+				"%s %s launders nondeterminism into deterministic package %s: %s",
+				verb, e.To.Name(), pass.Pkg.Path, tf.chain(e.To))
+		}
+	}
+}

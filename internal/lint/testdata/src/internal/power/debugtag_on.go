@@ -1,0 +1,12 @@
+//go:build odysseydebug
+
+package power
+
+import "os"
+
+// debugDump reads the environment under the debug tag. The loader sets
+// odysseydebug, so this file - not its untagged twin - is the one analyzed;
+// the finding below proves it.
+func debugDump() string {
+	return os.Getenv("ODYSSEY_DEBUG") // want: detrand
+}

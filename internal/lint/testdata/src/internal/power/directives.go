@@ -1,0 +1,32 @@
+package power
+
+import "time"
+
+// The directive fixtures: one //odylint:allow naming two analyzers for a
+// line they share, and one standing above a multi-line statement whose
+// violation sits past the directive's immediate next line.
+
+// keep anchors the multi-line call fixture.
+func keep(t time.Time, w float64) float64 {
+	_ = t
+	return w
+}
+
+// twoOnOneLine triggers detrand and floateq on a single line; the directive
+// names both, with a space after the comma.
+func twoOnOneLine(a, b float64) bool {
+	//odylint:allow detrand, floateq fixture: two analyzers share one line
+	t, eq := time.Now(), a == b
+	_ = t
+	return eq
+}
+
+// multiLineStmt puts the violation two lines below the directive, inside
+// one multi-line statement; the directive covers the statement's extent.
+func multiLineStmt(w float64) float64 {
+	//odylint:allow detrand fixture: directive above a multi-line call
+	return keep(
+		time.Now(),
+		w,
+	)
+}

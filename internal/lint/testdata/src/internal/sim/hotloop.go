@@ -1,0 +1,48 @@
+package sim
+
+// The hotalloc fixtures: Run is the analyzer's primary root, dispatch is
+// hot by call-graph reachability, and After-registered callbacks are hot by
+// registration (the loop invokes them through stored fields a static call
+// graph cannot see).
+
+// Event mirrors the real kernel's per-event record.
+type Event struct {
+	seq  int
+	fire func()
+}
+
+// After registers fn with the event loop; hotalloc roots its argument.
+func (k *Kernel) After(d int, fn func()) {}
+
+// Run is the dispatch loop.
+func (k *Kernel) Run() {
+	for i := 0; i < 8; i++ {
+		e := &Event{seq: i} // want: hotalloc
+		k.dispatch(e)
+	}
+}
+
+// dispatch is one call below Run on the hot path.
+func (k *Kernel) dispatch(e *Event) {
+	if e.fire != nil {
+		e.fire()
+	}
+	k.note(e.seq) // want: hotalloc
+}
+
+// note's interface parameter makes every non-pointer argument box.
+func (k *Kernel) note(v any) { _ = v }
+
+// register hangs a closure on the loop: the closure's body is hot even
+// though register itself never runs on it.
+func register(k *Kernel) {
+	k.After(1, func() {
+		buf := make([]byte, 64) // want: hotalloc
+		_ = buf
+	})
+}
+
+// coldAlloc allocates off the hot path: no finding.
+func coldAlloc() *Event {
+	return &Event{}
+}

@@ -1,0 +1,26 @@
+package sim
+
+import (
+	"time"
+
+	"fixture/util"
+)
+
+// launderedClock reaches the wall clock through two ungoverned hops.
+// detrand's package-local view sees only an ordinary call; the taint chain
+// must report it.
+func launderedClock() time.Duration {
+	return util.Elapsed() // want: taint
+}
+
+// pickClock smuggles a tainted function value instead of calling it; the
+// creation edge is as suspect as a call, because the kernel will eventually
+// invoke whatever it is handed.
+func pickClock() func() time.Duration {
+	return util.Stamp // want: taint
+}
+
+// clamp calls a clean helper in the same ungoverned package: no finding.
+func clamp(a, b int) int {
+	return util.Pure(a, b)
+}

@@ -1,0 +1,90 @@
+package sim
+
+import "sort"
+
+// The mapiter fixtures: order-sensitive map ranges must fire, and each of
+// the analyzer's proven-safe shapes must stay silent.
+
+// sumWatts accumulates floats: rounding does not commute, flagged.
+func sumWatts(m map[string]float64) float64 {
+	var sum float64
+	for _, w := range m { // want: mapiter
+		sum += w
+	}
+	return sum
+}
+
+// pickAny leaks last-writer-wins state: flagged.
+func pickAny(m map[string]int) string {
+	var last string
+	for k := range m { // want: mapiter
+		last = k
+	}
+	return last
+}
+
+// emitAll hands each key to a callback in iteration order: flagged.
+func emitAll(m map[string]int, emit func(string)) {
+	for k := range m { // want: mapiter
+		emit(k)
+	}
+}
+
+// collectUnsorted appends keys and never restores an order: flagged.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want: mapiter
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// countAll only counts: integer increments commute, allowed.
+func countAll(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// sumInts accumulates integers, which commute exactly: allowed.
+func sumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// copyKeyed writes under the range key: distinct keys, order cannot matter,
+// allowed.
+func copyKeyed(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// lookup returns only from a body selected by `k == want`, which runs for
+// at most one iteration: allowed.
+func lookup(m map[string]int, want string) int {
+	for k, v := range m {
+		if k == want {
+			return v
+		}
+	}
+	return 0
+}
+
+// sortedKeys collects then immediately sorts, re-establishing a
+// deterministic order before anything observes it: allowed.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,26 @@
+// Package util is deliberately outside the governed set: reading the wall
+// clock is legal here in isolation, but the taint analyzer must catch the
+// read when deterministic code reaches it through these helpers.
+package util
+
+import "time"
+
+// Stamp reads the wall clock; this is the nondeterminism source at the end
+// of the laundering chain.
+func Stamp() time.Duration {
+	return time.Since(time.Time{})
+}
+
+// Elapsed launders Stamp through one more hop, so the reported chain has to
+// be genuinely transitive.
+func Elapsed() time.Duration {
+	return Stamp()
+}
+
+// Pure is clean: calling it from a deterministic package is fine.
+func Pure(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

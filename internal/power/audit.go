@@ -3,6 +3,7 @@ package power
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 )
 
@@ -30,13 +31,10 @@ func conservationTolerance(totalEnergy float64, elapsed time.Duration) float64 {
 // bug. elapsed is the virtual time the ledger covers (it scales the
 // absolute tolerance term).
 func ConservationCheck(totalEnergy float64, byComponent, byPrincipal map[string]float64, elapsed time.Duration) error {
-	var byComp, byPrin float64
-	for _, v := range byComponent {
-		byComp += v
-	}
-	for _, v := range byPrincipal {
-		byPrin += v
-	}
+	// Sum in sorted-key order: rounding makes float addition sensitive to
+	// order, and the divergence this audit reports must be reproducible.
+	byComp := sumSorted(byComponent)
+	byPrin := sumSorted(byPrincipal)
 	tol := conservationTolerance(totalEnergy, elapsed)
 	if d := math.Abs(byComp - totalEnergy); d > tol {
 		return fmt.Errorf("power: component energy %.12g J diverged from exact integral %.12g J by %.3g J (tol %.3g) at t=%v",
@@ -47,6 +45,21 @@ func ConservationCheck(totalEnergy float64, byComponent, byPrincipal map[string]
 			byPrin, totalEnergy, d, tol, elapsed)
 	}
 	return nil
+}
+
+// sumSorted adds a ledger's values in ascending key order, so the total is
+// a deterministic function of the ledger's contents.
+func sumSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
 }
 
 // AuditConservation integrates up to the current instant and cross-checks

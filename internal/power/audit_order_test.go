@@ -1,0 +1,60 @@
+package power
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Iteration-order guards for the conservation audit: summing a ledger in
+// map order makes the reported divergence depend on rounding order, which
+// the mapiter analyzer flagged; sumSorted fixes the order. These tests
+// require bit-identical results across repeated calls.
+
+// roundingHostileLedger mixes magnitudes so float addition order changes
+// the rounded total.
+func roundingHostileLedger(n int) map[string]float64 {
+	m := make(map[string]float64, n)
+	for i := 0; i < n; i++ {
+		v := 1e-9
+		if i%3 == 0 {
+			v = 1e9
+		}
+		if i%7 == 0 {
+			v = -1e3
+		}
+		m[fmt.Sprintf("component-%02d", i)] = v + float64(i)*1e-13
+	}
+	return m
+}
+
+func TestSumSortedBitIdenticalAcrossCalls(t *testing.T) {
+	ledger := roundingHostileLedger(40)
+	first := sumSorted(ledger)
+	for i := 0; i < 50; i++ {
+		if got := sumSorted(ledger); got != first {
+			t.Fatalf("sumSorted diverged on call %d: %x != %x", i+1, got, first)
+		}
+	}
+}
+
+func TestConservationCheckDeterministicMessage(t *testing.T) {
+	byComp := roundingHostileLedger(40)
+	byPrin := roundingHostileLedger(17)
+	// A total no ledger sums to, so the check always fails and the error
+	// text embeds the computed sums.
+	var first string
+	for i := 0; i < 50; i++ {
+		err := ConservationCheck(12345.678, byComp, byPrin, time.Hour)
+		if err == nil {
+			t.Fatal("divergent ledger passed the conservation check")
+		}
+		if i == 0 {
+			first = err.Error()
+			continue
+		}
+		if err.Error() != first {
+			t.Fatalf("conservation error text diverged:\nrun 1: %s\nrun %d: %s", first, i+1, err.Error())
+		}
+	}
+}

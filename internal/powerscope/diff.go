@@ -38,8 +38,13 @@ func Diff(before, after *EnergyProfile) *ProfileDiff {
 	for p := range a {
 		paths[p] = true
 	}
-	d := &ProfileDiff{TotalBefore: before.TotalEnergy, TotalAfter: after.TotalEnergy}
+	ps := make([]string, 0, len(paths))
 	for p := range paths {
+		ps = append(ps, p)
+	}
+	sort.Strings(ps)
+	d := &ProfileDiff{TotalBefore: before.TotalEnergy, TotalAfter: after.TotalEnergy}
+	for _, p := range ps {
 		d.Rows = append(d.Rows, DiffRow{Path: p, Before: b[p], After: a[p]})
 	}
 	sort.Slice(d.Rows, func(i, j int) bool {

@@ -1,0 +1,93 @@
+package powerscope
+
+import (
+	"testing"
+	"time"
+)
+
+// Iteration-order guards: Correlate and Diff aggregate through maps, and
+// both were restructured to walk sorted keys (the mapiter analyzer flagged
+// the original loops). These tests rebuild the same inputs in fresh maps
+// many times and require byte-identical rendered output - with map-order
+// iteration they flake; with sorted iteration they cannot.
+
+// tieSamples builds a sample set with several processes and procedures
+// whose energies tie exactly, so any order-dependence in aggregation or
+// sort tie-breaking shows up in the rendered profile.
+func tieSamples(st *SymbolTable) ([]Sample, map[int]string) {
+	procs := []struct {
+		pid  int
+		bin  string
+		name string
+	}{
+		{10, "/bin/a", "_A1"}, {10, "/bin/a", "_A2"},
+		{20, "/bin/b", "_B1"}, {20, "/bin/b", "_B2"},
+		{30, "/bin/c", "_C1"}, {40, "/bin/d", "_D1"},
+		{50, "/bin/e", "_E1"}, {60, "/bin/f", "_F1"},
+	}
+	var samples []Sample
+	t := time.Duration(0)
+	const step = time.Millisecond
+	for round := 0; round < 3; round++ {
+		for _, p := range procs {
+			pc := st.Declare(p.bin, p.name).Start
+			samples = append(samples, Sample{Time: t, Watts: 5.5, PID: p.pid, PC: pc})
+			t += step
+		}
+	}
+	samples = append(samples, Sample{Time: t, Watts: 0, PID: 10, PC: 0})
+
+	processes := make(map[int]string)
+	for _, p := range procs {
+		processes[p.pid] = p.bin
+	}
+	return samples, processes
+}
+
+func TestCorrelateOrderInvariant(t *testing.T) {
+	st := NewSymbolTable()
+	samples, _ := tieSamples(st)
+	var first string
+	for i := 0; i < 20; i++ {
+		// Fresh maps each round: Go randomizes iteration per map value.
+		_, processes := tieSamples(NewSymbolTable())
+		got := Correlate(samples, st, processes).String()
+		if i == 0 {
+			first = got
+			continue
+		}
+		if got != first {
+			t.Fatalf("Correlate output diverged between identical runs:\nrun 1:\n%s\nrun %d:\n%s", first, i+1, got)
+		}
+	}
+	if first == "" {
+		t.Fatal("profile rendered empty")
+	}
+}
+
+func TestDiffOrderInvariant(t *testing.T) {
+	st := NewSymbolTable()
+	samples, processes := tieSamples(st)
+	before := Correlate(samples, st, processes)
+
+	// After-profile with equal deltas across binaries, so the |delta| sort
+	// must fall back to the deterministic path tie-break.
+	var shifted []Sample
+	for _, s := range samples {
+		s.Watts *= 2
+		shifted = append(shifted, s)
+	}
+	after := Correlate(shifted, st, processes)
+
+	var first string
+	for i := 0; i < 20; i++ {
+		got := Diff(before, after).String()
+		if i == 0 {
+			first = got
+			continue
+		}
+		if got != first {
+			t.Fatalf("Diff output diverged between identical runs:\nrun 1:\n%s\nrun %d:\n%s", first, i+1, got)
+		}
+	}
+}

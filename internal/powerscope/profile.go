@@ -58,8 +58,21 @@ func Correlate(samples []Sample, st *SymbolTable, processes map[int]string) *Ene
 	}
 	prof.Elapsed = samples[len(samples)-1].Time - samples[0].Time
 
-	byPID := make(map[int]*ProcessUsage)
+	// Iterate samples in (pid, pc) order: procedure rows, float sums, and
+	// equal-energy sort ties must not depend on map iteration order.
+	keys := make([]key, 0, len(cpu))
 	for k := range cpu {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pid != keys[j].pid {
+			return keys[i].pid < keys[j].pid
+		}
+		return keys[i].pc < keys[j].pc
+	})
+
+	byPID := make(map[int]*ProcessUsage)
+	for _, k := range keys {
 		pu, ok := byPID[k.pid]
 		if !ok {
 			path := processes[k.pid]
@@ -86,7 +99,13 @@ func Correlate(samples []Sample, st *SymbolTable, processes map[int]string) *Ene
 		pu.CPUTime += cpu[k]
 		pu.Energy += energy[k]
 	}
-	for _, pu := range byPID {
+	pids := make([]int, 0, len(byPID))
+	for pid := range byPID {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		pu := byPID[pid]
 		pu.AvgPower = avgPower(pu.Energy, pu.CPUTime)
 		sort.Slice(pu.Procedures, func(i, j int) bool {
 			return pu.Procedures[i].Energy > pu.Procedures[j].Energy

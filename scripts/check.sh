@@ -8,9 +8,15 @@
 # Gates, in order:
 #   1. go build ./...                      everything compiles
 #   2. go vet ./...                        stock static analysis
-#   3. go run ./cmd/odylint ./...          domain-specific invariants
-#                                          (determinism, float equality,
-#                                          kernel handshake, panics, errors)
+#   3. odylint -json -baseline ./...       domain-specific invariants
+#                                          (determinism taint, map-iteration
+#                                          order, hot-path allocations, float
+#                                          equality, kernel handshake, panics,
+#                                          errors); fails on any finding not
+#                                          grandfathered in odylint.baseline
+#                                          and on expired/stale entries, and
+#                                          warns on entries expiring within
+#                                          30 days; report: odylint-report.json
 #   4. go test ./...                       tier-1 tests
 #   5. go test -race ./...                 data-race gate over the full module
 #   6. go test -tags odysseydebug ...      energy-conservation runtime
@@ -37,6 +43,10 @@
 #                                          every previously-failing scenario
 #                                          in the regression corpus must
 #                                          replay clean
+#  13. BENCH_kernel.json                   kernel performance artifact
+#                                          (ns/op, allocs/op, scenarios/sec)
+#                                          tracking ROADMAP item 2; schema in
+#                                          EXPERIMENTS.md
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -47,8 +57,11 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> odylint ./..."
-go run ./cmd/odylint ./...
+echo "==> odylint -json -baseline odylint.baseline ./..."
+go run ./cmd/odylint -json -baseline odylint.baseline -expiry-warn 30 ./... > odylint-report.json || {
+    echo "FAIL: odylint found non-baselined findings or baseline rot (details in odylint-report.json)" >&2
+    exit 1
+}
 
 echo "==> go test ./..."
 go test ./...
@@ -106,6 +119,9 @@ if [ "${1:-}" != "fast" ]; then
     echo "==> chaos smoke (-race, 20 scenarios, fixed seed) + corpus replay"
     go run -race ./cmd/odyssey-chaos -soak 20 -seed 7 -out "$smokedir/chaos-failures"
     go run ./cmd/odyssey-chaos -corpus internal/chaos/testdata/corpus -v
+
+    echo "==> kernel performance artifact (BENCH_kernel.json)"
+    BENCH_KERNEL_OUT=BENCH_kernel.json go test -run TestEmitBenchKernel .
 fi
 
 echo "ALL CHECKS PASSED"
