@@ -1,0 +1,154 @@
+// Command benchgate is the kernel performance-regression gate: it compares
+// a freshly emitted BENCH_kernel.json against the checked-in baseline
+// artifact (BENCH_baseline.json) and fails when any benchmark regressed by
+// more than the threshold.
+//
+// Two regression axes are gated:
+//
+//   - allocs/op: compared unconditionally — allocation counts are a
+//     property of the code, not the machine, so any growth is real.
+//   - ns/op: compared only when the fresh artifact's arch and Go version
+//     match the baseline's. Timing baselines from a different machine
+//     class or toolchain would gate on noise, not regressions.
+//
+// scenarios_per_sec is reported but never gated (pure wall clock).
+//
+// Usage:
+//
+//	benchgate -fresh BENCH_kernel.json -baseline BENCH_baseline.json
+//	benchgate -fresh BENCH_kernel.json -baseline BENCH_baseline.json -update
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// report mirrors the bench_kernel/v1 schema of bench_test.go.
+type report struct {
+	Schema          string  `json:"schema"`
+	GoVersion       string  `json:"go_version"`
+	Arch            string  `json:"arch"`
+	Benchmarks      []row   `json:"benchmarks"`
+	ScenariosPerSec float64 `json:"scenarios_per_sec"`
+	Scenarios       int     `json:"scenarios"`
+}
+
+type row struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Ops         int     `json:"ops"`
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != "bench_kernel/v1" {
+		return nil, fmt.Errorf("%s: unexpected schema %q", path, r.Schema)
+	}
+	return &r, nil
+}
+
+// compare gates fresh against base, writing findings to w. It returns the
+// list of regression messages (empty = gate passes).
+func compare(w io.Writer, base, fresh *report, threshold float64) []string {
+	var regressions []string
+	timingComparable := base.Arch == fresh.Arch && base.GoVersion == fresh.GoVersion
+	if !timingComparable {
+		_, _ = fmt.Fprintf(w, "benchgate: baseline from %s %s, fresh from %s %s: gating allocs/op only\n",
+			base.Arch, base.GoVersion, fresh.Arch, fresh.GoVersion)
+	}
+	freshByName := map[string]row{}
+	for _, r := range fresh.Benchmarks {
+		freshByName[r.Name] = r
+	}
+	for _, b := range base.Benchmarks {
+		f, ok := freshByName[b.Name]
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("benchmark %s present in baseline but missing from fresh artifact", b.Name))
+			continue
+		}
+		if b.AllocsPerOp >= 0 && f.AllocsPerOp > grownInt(b.AllocsPerOp, threshold) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s allocs/op regressed: %d -> %d (>%0.f%% over baseline)",
+					b.Name, b.AllocsPerOp, f.AllocsPerOp, threshold*100))
+		} else {
+			_, _ = fmt.Fprintf(w, "benchgate: %-14s allocs/op %6d -> %6d ok\n", b.Name, b.AllocsPerOp, f.AllocsPerOp)
+		}
+		if timingComparable && b.NsPerOp > 0 {
+			if f.NsPerOp > b.NsPerOp*(1+threshold) {
+				regressions = append(regressions,
+					fmt.Sprintf("%s ns/op regressed: %.1f -> %.1f (>%0.f%% over baseline)",
+						b.Name, b.NsPerOp, f.NsPerOp, threshold*100))
+			} else {
+				_, _ = fmt.Fprintf(w, "benchgate: %-14s ns/op  %8.1f -> %8.1f ok\n", b.Name, b.NsPerOp, f.NsPerOp)
+			}
+		}
+	}
+	_, _ = fmt.Fprintf(w, "benchgate: scenarios/sec %.2f (baseline %.2f, informational)\n",
+		fresh.ScenariosPerSec, base.ScenariosPerSec)
+	return regressions
+}
+
+// grownInt returns the largest integer value not considered a regression
+// over base at the given fractional threshold. A zero-alloc baseline
+// tolerates zero growth: going from 0 to any allocation is a regression.
+func grownInt(base int64, threshold float64) int64 {
+	return base + int64(float64(base)*threshold)
+}
+
+func main() {
+	var (
+		freshPath = flag.String("fresh", "BENCH_kernel.json", "freshly emitted artifact")
+		basePath  = flag.String("baseline", "BENCH_baseline.json", "checked-in baseline artifact")
+		threshold = flag.Float64("threshold", 0.25, "fractional regression tolerance")
+		update    = flag.Bool("update", false, "copy the fresh artifact over the baseline and exit")
+	)
+	flag.Parse()
+
+	if *update {
+		data, err := os.ReadFile(*freshPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*basePath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: baseline %s updated from %s\n", *basePath, *freshPath)
+		return
+	}
+
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	regressions := compare(os.Stdout, base, fresh, *threshold)
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "benchgate: REGRESSION: %s\n", r)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s); if intentional, refresh the baseline with -update\n", len(regressions))
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: no regressions")
+}

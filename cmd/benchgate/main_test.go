@@ -1,0 +1,64 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func baseReport() *report {
+	return &report{
+		Schema: "bench_kernel/v1", GoVersion: "go1.24.0", Arch: "linux/amd64",
+		Benchmarks: []row{
+			{Name: "KernelEvents", NsPerOp: 100, AllocsPerOp: 1},
+			{Name: "ProcessSwitch", NsPerOp: 2000, AllocsPerOp: 0},
+		},
+		ScenariosPerSec: 2,
+	}
+}
+
+func TestComparePasses(t *testing.T) {
+	base, fresh := baseReport(), baseReport()
+	fresh.Benchmarks[0].NsPerOp = 120 // +20% < 25%
+	if regs := compare(io.Discard, base, fresh, 0.25); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestCompareNsRegression(t *testing.T) {
+	base, fresh := baseReport(), baseReport()
+	fresh.Benchmarks[0].NsPerOp = 130 // +30%
+	regs := compare(io.Discard, base, fresh, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "ns/op") {
+		t.Fatalf("want one ns/op regression, got %v", regs)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base, fresh := baseReport(), baseReport()
+	fresh.Benchmarks[1].AllocsPerOp = 1 // 0 -> 1 is always a regression
+	regs := compare(io.Discard, base, fresh, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("want one allocs/op regression, got %v", regs)
+	}
+}
+
+func TestCompareSkipsTimingAcrossMachines(t *testing.T) {
+	base, fresh := baseReport(), baseReport()
+	fresh.GoVersion = "go1.22.1"
+	fresh.Benchmarks[0].NsPerOp = 900 // 9x slower, but not comparable
+	fresh.Benchmarks[0].AllocsPerOp = 5
+	regs := compare(io.Discard, base, fresh, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("want only the allocs/op regression, got %v", regs)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	base, fresh := baseReport(), baseReport()
+	fresh.Benchmarks = fresh.Benchmarks[:1]
+	regs := compare(io.Discard, base, fresh, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+		t.Fatalf("want one missing-benchmark regression, got %v", regs)
+	}
+}

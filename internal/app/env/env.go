@@ -44,8 +44,15 @@ type Rig struct {
 // NewRig builds a fresh testbed for one trial. displayZones is 1 for a
 // conventional panel, 4 or 8 for the zoned projections.
 func NewRig(seed int64, displayZones int) *Rig {
+	return NewRigProfile(seed, displayZones, hw.ThinkPad560X())
+}
+
+// NewRigProfile builds a testbed around an explicit hardware power profile —
+// the fleet plane's device-class variants. NewRig(seed, zones) is exactly
+// NewRigProfile(seed, zones, hw.ThinkPad560X()).
+func NewRigProfile(seed int64, displayZones int, profile hw.Profile) *Rig {
 	k := sim.NewKernel(seed)
-	m := hw.NewMachine(k, hw.ThinkPad560X(), displayZones)
+	m := hw.NewMachine(k, profile, displayZones)
 	r := &Rig{
 		K:   k,
 		M:   m,

@@ -85,6 +85,28 @@ func Generate(seed int64) Scenario {
 	return sc.normalize()
 }
 
+// RandomFaultPlan draws n network/server/battery injectors from rng into a
+// named PlanSpec carrying its own seed. The fleet plane composes session
+// fault mixes from the same distributions the chaos soak stresses, so a
+// fleet anomaly always has a chaos scenario that reproduces its weather.
+func RandomFaultPlan(rng *rand.Rand, name string, seed int64, smartBattery bool, n int) *faults.PlanSpec {
+	plan := &faults.PlanSpec{Name: name, Seed: seed}
+	for i := 0; i < n; i++ {
+		plan.Injectors = append(plan.Injectors, genFaultInjector(rng, smartBattery))
+	}
+	return plan
+}
+
+// RandomMisbehavePlan draws n application-misbehavior injectors aimed at the
+// given enabled application set.
+func RandomMisbehavePlan(rng *rand.Rand, name string, seed int64, apps []string, n int) *faults.PlanSpec {
+	plan := &faults.PlanSpec{Name: name, Seed: seed}
+	for i := 0; i < n; i++ {
+		plan.Injectors = append(plan.Injectors, genMisbehaveInjector(rng, apps))
+	}
+	return plan
+}
+
 // genFaultInjector draws one network/server/battery injector. The
 // battery-dropout kind is only eligible when the scenario reads a
 // SmartBattery — there is no monitoring circuit to drop out on the bench

@@ -56,6 +56,14 @@ type rigTargets struct {
 	apps *workload.Apps
 }
 
+// BindRig returns a faults.Targets binder over one live rig, its battery
+// (nil on a bench supply), and its application set (nil when only
+// network/server/battery injectors will be materialized). The fleet plane
+// uses it to materialize the PlanSpec mixes it borrows from this package.
+func BindRig(rig *env.Rig, bat *smartbattery.Battery, apps *workload.Apps) faults.Targets {
+	return &rigTargets{rig: rig, bat: bat, apps: apps}
+}
+
 func (t *rigTargets) Network() *netsim.Network { return t.rig.Net }
 
 func (t *rigTargets) Server(name string) (*netsim.Server, bool) {

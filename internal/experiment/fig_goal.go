@@ -7,6 +7,7 @@ import (
 	"odyssey/internal/app/env"
 	"odyssey/internal/core"
 	"odyssey/internal/faults"
+	"odyssey/internal/hw"
 	"odyssey/internal/netsim"
 	"odyssey/internal/power"
 	"odyssey/internal/smartbattery"
@@ -92,6 +93,14 @@ type GoalOptions struct {
 	// rig is discarded, with the run's ledgers still intact — the chaos
 	// sentinel suite's window into the accountant and the budget ledger.
 	Observe func(rig *env.Rig, em *core.EnergyMonitor)
+	// Profile, if non-nil, selects a hardware power profile other than the
+	// reference ThinkPad 560X — the fleet plane's device-class variants
+	// (hw.Profile.Scaled). Nil keeps the legacy rig byte for byte.
+	Profile *hw.Profile
+	// CompositePeriod overrides how often a composite iteration starts in
+	// the continuous workload (0 = the paper's 25 s) — the fleet plane's
+	// workload-intensity knob. Ignored by the bursty workload.
+	CompositePeriod time.Duration
 }
 
 // GoalResult is the outcome of one goal-directed run.
@@ -176,7 +185,12 @@ func (fa *fidelityAverager) means() map[string]float64 {
 
 // RunGoal executes one goal-directed energy adaptation experiment.
 func RunGoal(opt GoalOptions) GoalResult {
-	rig := env.NewRig(opt.Seed, 1)
+	var rig *env.Rig
+	if opt.Profile != nil {
+		rig = env.NewRigProfile(opt.Seed, 1, *opt.Profile)
+	} else {
+		rig = env.NewRig(opt.Seed, 1)
+	}
 	rig.EnablePowerMgmt()
 	apps := workload.NewApps(rig)
 	if opt.Apps != nil {
@@ -316,7 +330,11 @@ func RunGoal(opt GoalOptions) GoalResult {
 	if opt.Bursty {
 		apps.StartBurstyWorkload(workload.DefaultBurstyConfig(), until)
 	} else {
-		apps.StartGoalWorkload(compositePeriod, until)
+		period := opt.CompositePeriod
+		if period <= 0 {
+			period = compositePeriod
+		}
+		apps.StartGoalWorkload(period, until)
 	}
 
 	horizon := goal + 4*time.Hour
@@ -363,6 +381,10 @@ func RunGoal(opt GoalOptions) GoalResult {
 	if opt.Observe != nil {
 		opt.Observe(rig, em)
 	}
+	// Tear the rig down: parked process goroutines would otherwise outlive
+	// the session and pin it, growing memory with trial count — fatal for
+	// fleet soaks that run millions of sessions through this path.
+	rig.K.Shutdown()
 	return res
 }
 

@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"odyssey/internal/app/env"
+	"odyssey/internal/chaos"
+	"odyssey/internal/core"
+	"odyssey/internal/experiment"
+	"odyssey/internal/faults"
+	"odyssey/internal/smartbattery"
+	"odyssey/internal/workload"
+)
+
+// The fleet runner. Sessions are sharded into a FIXED number of contiguous
+// index ranges — fixed meaning independent of the worker count — and each
+// shard folds its sessions into a private Aggregate in index order; shard
+// aggregates then merge in shard-index order. Workers only decide *when* a
+// shard's reduction happens, never its content or its place in the final
+// merge, so the scorecard is byte-identical at -parallel 1 and -parallel
+// 64. Changing the shard count changes the float accumulation geometry
+// (like regrouping any float sum), so DefaultShards is part of the replay
+// contract.
+
+// DefaultShards is the fixed shard count of the reduction geometry.
+const DefaultShards = 64
+
+// RunOptions parameterizes one fleet run.
+type RunOptions struct {
+	Population Population
+	Seed       int64
+	Devices    int // device-sessions to run (session-count mode)
+	Shards     int // 0 = DefaultShards; clamped to Devices
+
+	// Progress, if non-nil, receives one line per completed shard. It is
+	// observability only — never part of the scorecard — so it may carry
+	// wall-clock rates. Writes are serialized by the caller's writer.
+	Progress io.Writer
+}
+
+// Result is a finished fleet run: the merged reduction plus the geometry
+// that produced it.
+type Result struct {
+	Opts RunOptions
+	Agg  *Aggregate
+}
+
+// shardRange returns the half-open session range of shard s among n
+// sessions split into k balanced contiguous shards.
+func shardRange(s, k, n int) (int, int) {
+	return s * n / k, (s + 1) * n / k
+}
+
+// Run executes the fleet: derives each session from (population, seed,
+// index), runs it on a private rig, and reduces everything into one
+// Aggregate. Memory is O(shards + workers), independent of Devices. The
+// error is non-nil only if a derived fault plan failed to materialize —
+// a population-model bug, not a device outcome.
+func Run(opts RunOptions) (*Result, error) {
+	n := opts.Devices
+	if n < 0 {
+		n = 0
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	if shards > n && n > 0 {
+		shards = n
+	}
+	if n == 0 {
+		return &Result{Opts: opts, Agg: NewAggregate()}, nil
+	}
+
+	aggs := make([]*Aggregate, shards)
+	errs := make([]error, shards)
+	experiment.RunTasks(shards, func(s int) {
+		agg := NewAggregate()
+		lo, hi := shardRange(s, shards, n)
+		for i := lo; i < hi; i++ {
+			sess := opts.Population.Session(opts.Seed, i)
+			out, err := runSession(sess)
+			if err != nil {
+				errs[s] = fmt.Errorf("fleet: session %d (seed %d): %w", i, sess.Seed, err)
+				return
+			}
+			agg.observe(sess, out)
+		}
+		aggs[s] = agg
+		if opts.Progress != nil {
+			_, _ = fmt.Fprintf(opts.Progress, "shard %3d/%d done: sessions %d-%d\n", s+1, shards, lo, hi-1)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	total := NewAggregate()
+	for _, agg := range aggs {
+		total.Merge(agg)
+	}
+	return &Result{Opts: opts, Agg: total}, nil
+}
+
+// runSession executes one derived session through the goal-directed
+// experiment on a private rig and extracts the mergeable outcome.
+func runSession(sess Session) (sessionOutcome, error) {
+	var out sessionOutcome
+	var buildErr error
+	profile := sess.Profile
+	opt := experiment.GoalOptions{
+		Seed:            sess.Seed,
+		InitialEnergy:   sess.InitialEnergy,
+		Goal:            sess.Goal,
+		Bursty:          sess.Bursty,
+		SmartBattery:    sess.SmartBattery,
+		Peukert:         sess.Peukert,
+		Supervise:       sess.Supervise,
+		Apps:            sess.Apps,
+		Profile:         &profile,
+		CompositePeriod: sess.CompositePeriod,
+		Observe: func(rig *env.Rig, em *core.EnergyMonitor) {
+			out.Drained = rig.M.Acct.TotalEnergy()
+			by := rig.M.Acct.EnergyByPrincipal()
+			names := make([]string, 0, len(by))
+			for name := range by {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			out.Principals = names
+			out.PrincipalJ = make([]float64, len(names))
+			for pi, name := range names {
+				out.PrincipalJ[pi] = by[name]
+			}
+		},
+	}
+	if sess.Faults != nil {
+		spec := *sess.Faults
+		opt.Faults = func(rig *env.Rig, bat *smartbattery.Battery, seed int64) *faults.Plan {
+			pl, err := spec.Plan(rig.K, chaos.BindRig(rig, bat, nil))
+			if err != nil {
+				buildErr = err
+				return nil
+			}
+			return pl
+		}
+	}
+	if sess.Misbehave != nil {
+		spec := *sess.Misbehave
+		opt.Misbehave = func(apps *workload.Apps, seed int64) *faults.Plan {
+			pl, err := spec.Plan(apps.Rig.K, chaos.BindRig(apps.Rig, nil, apps))
+			if err != nil {
+				buildErr = err
+				return nil
+			}
+			return pl
+		}
+	}
+	res := experiment.RunGoal(opt)
+	if buildErr != nil {
+		return out, buildErr
+	}
+	out.Met = res.Met
+	out.Residual = res.Residual
+	out.RetryJ = res.RetryEnergy
+	out.Quarantined = len(res.Quarantined)
+	out.Restarts = res.Restarts
+	out.FaultEvents = res.FaultEvents
+	out.Elapsed = res.EndTime
+	for _, name := range workload.Names {
+		out.Adaptations += res.Adaptations[name]
+	}
+	return out, nil
+}

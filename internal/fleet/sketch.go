@@ -1,0 +1,169 @@
+// Package fleet simulates large device populations: N independent device
+// rigs (each a private kernel, per the experiment scheduler's private-rig
+// contract) are driven from a shared seeded population model — a
+// device-class mix over hardware power-profile variants, a user-behavior
+// mix over workload intensity and application subsets, and staggered
+// session start/stop churn — and reduced into mergeable streaming
+// aggregates, so a million-device soak runs in O(workers) memory and ends
+// in a fleet scorecard with percentile dashboards.
+//
+// Everything derives deterministically from one fleet seed: session i of a
+// run is a pure function of (population, seed, i), shard aggregates fold
+// sessions in index order, and shards merge in fixed shard order, so a
+// fleet scorecard is byte-identical at any -parallel width.
+package fleet
+
+import "math"
+
+// The quantile sketch: a log-linear histogram in the HDR-histogram family.
+// Positive values are bucketed by power-of-two octave and a linear
+// sub-bucket within the octave, so the representative value of a bucket is
+// within a fixed relative error of every value it absorbs. Counts are
+// integers, which makes Merge exactly commutative and associative — the
+// property the fleet reduction needs for byte-identical scorecards at any
+// worker count.
+const (
+	// sketchSubBits fixes the sub-bucket resolution: 1<<sketchSubBits
+	// linear sub-buckets per octave, for a relative quantile error bound
+	// of 1/(2<<sketchSubBits) (see Sketch.RelErrBound).
+	sketchSubBits = 5
+	sketchSub     = 1 << sketchSubBits
+
+	// Octaves below sketchMinExp (values under ~5e-7) collapse into the
+	// bottom bucket; octaves at or above sketchMaxExp (values over ~1e12)
+	// clamp into the top one. Fleet metrics — joules, seconds, rates —
+	// live comfortably inside that range.
+	sketchMinExp = -21
+	sketchMaxExp = 40
+
+	sketchBuckets = (sketchMaxExp - sketchMinExp + 1) * sketchSub
+)
+
+// Sketch is a mergeable quantile sketch over float64 observations. The
+// zero value is not usable; create one with NewSketch.
+type Sketch struct {
+	pos  [sketchBuckets]int64 // positive values, ascending magnitude
+	neg  [sketchBuckets]int64 // negative values, ascending magnitude
+	zero int64                // exact zeros (and values too small to bucket)
+	n    int64
+}
+
+// NewSketch returns an empty sketch.
+func NewSketch() *Sketch { return &Sketch{} }
+
+// bucketOf maps a positive magnitude to its bucket index.
+func bucketOf(v float64) int {
+	if math.IsInf(v, 0) {
+		return sketchBuckets - 1
+	}
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	if exp < sketchMinExp {
+		return 0
+	}
+	if exp > sketchMaxExp {
+		return sketchBuckets - 1
+	}
+	sub := int((frac - 0.5) * 2 * sketchSub)
+	if sub >= sketchSub {
+		sub = sketchSub - 1
+	}
+	return (exp-sketchMinExp)*sketchSub + sub
+}
+
+// bucketMid returns the representative (midpoint) value of a bucket.
+func bucketMid(idx int) float64 {
+	exp := idx/sketchSub + sketchMinExp
+	sub := idx % sketchSub
+	frac := 0.5 + (float64(sub)+0.5)/(2*sketchSub)
+	return math.Ldexp(frac, exp)
+}
+
+// Observe adds one value. NaN observations are ignored; infinities clamp
+// into the extreme buckets.
+func (s *Sketch) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	s.n++
+	switch {
+	case v > 0:
+		s.pos[bucketOf(v)]++
+	case v < 0:
+		s.neg[bucketOf(-v)]++
+	default:
+		s.zero++
+	}
+}
+
+// Merge folds o into s. Bucket counts add, so merge is exactly commutative
+// and associative: merge(a,b) and merge(b,a) are byte-identical.
+func (s *Sketch) Merge(o *Sketch) {
+	for i := range s.pos {
+		s.pos[i] += o.pos[i]
+		s.neg[i] += o.neg[i]
+	}
+	s.zero += o.zero
+	s.n += o.n
+}
+
+// Count reports how many observations the sketch has absorbed.
+func (s *Sketch) Count() int64 { return s.n }
+
+// RelErrBound is the sketch's relative quantile error bound: every
+// reported quantile is within this fraction of some observed value at most
+// one rank away from the requested one.
+func (s *Sketch) RelErrBound() float64 { return 1.0 / (2 * sketchSub) }
+
+// ApproxSum estimates the sum of all observations from bucket midpoints —
+// within RelErrBound of the true sum when all observations are positive.
+func (s *Sketch) ApproxSum() float64 {
+	var total float64
+	for i := sketchBuckets - 1; i >= 0; i-- {
+		if s.neg[i] > 0 {
+			total -= float64(s.neg[i]) * bucketMid(i)
+		}
+	}
+	for i := 0; i < sketchBuckets; i++ {
+		if s.pos[i] > 0 {
+			total += float64(s.pos[i]) * bucketMid(i)
+		}
+	}
+	return total
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) by nearest rank: the
+// representative value of the bucket holding rank round(q*(n-1)). An empty
+// sketch reports 0.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(s.n-1) + 0.5)
+	// Ascending value order: negatives from largest magnitude down, then
+	// zero, then positives from smallest magnitude up.
+	var cum int64
+	for i := sketchBuckets - 1; i >= 0; i-- {
+		cum += s.neg[i]
+		if cum > rank {
+			return -bucketMid(i)
+		}
+	}
+	cum += s.zero
+	if cum > rank {
+		return 0
+	}
+	for i := 0; i < sketchBuckets; i++ {
+		cum += s.pos[i]
+		if cum > rank {
+			return bucketMid(i)
+		}
+	}
+	// Unreachable: the cumulative count reaches n, and rank < n.
+	return 0
+}

@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile computes the nearest-rank quantile the sketch promises to
+// approximate, from the raw values.
+func exactQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted)-1) + 0.5)
+	return sorted[rank]
+}
+
+// TestSketchErrorBounds checks the advertised relative error bound against
+// exact quantiles on known distributions: uniform, exponential (heavy
+// head), and lognormal (heavy tail, five decades of dynamic range).
+func TestSketchErrorBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dists := []struct {
+		name string
+		draw func() float64
+	}{
+		{"uniform", func() float64 { return 1 + 999*rng.Float64() }},
+		{"exponential", func() float64 { return rng.ExpFloat64() * 120 }},
+		{"lognormal", func() float64 { return math.Exp(rng.NormFloat64()*2 + 3) }},
+	}
+	qs := []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}
+	for _, d := range dists {
+		s := NewSketch()
+		vals := make([]float64, 0, 50_000)
+		for i := 0; i < 50_000; i++ {
+			v := d.draw()
+			vals = append(vals, v)
+			s.Observe(v)
+		}
+		sort.Float64s(vals)
+		if s.Count() != int64(len(vals)) {
+			t.Fatalf("%s: count %d, want %d", d.name, s.Count(), len(vals))
+		}
+		bound := s.RelErrBound()
+		for _, q := range qs {
+			got := s.Quantile(q)
+			want := exactQuantile(vals, q)
+			relErr := math.Abs(got-want) / want
+			if relErr > bound {
+				t.Errorf("%s p%.0f: sketch %.4f vs exact %.4f (rel err %.4f > bound %.4f)",
+					d.name, 100*q, got, want, relErr, bound)
+			}
+		}
+	}
+}
+
+// TestSketchMergeCommutative checks merge(a,b) == merge(b,a) byte for byte.
+// Sketch state is fixed arrays of integer counts, so plain struct equality
+// is the byte-identity check.
+func TestSketchMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, b := NewSketch(), NewSketch()
+	for i := 0; i < 10_000; i++ {
+		a.Observe(rng.ExpFloat64() * 100)
+		b.Observe(rng.NormFloat64() * 50) // includes negatives
+		if i%500 == 0 {
+			b.Observe(0)
+		}
+	}
+	ab, ba := *a, *b
+	ab.Merge(b)
+	ba.Merge(a)
+	if ab != ba {
+		t.Fatal("merge(a,b) and merge(b,a) differ")
+	}
+	if ab.Count() != a.Count()+b.Count() {
+		t.Fatalf("merged count %d, want %d", ab.Count(), a.Count()+b.Count())
+	}
+	// Merge must also match single-sketch observation of the union.
+	for _, q := range []float64{0.05, 0.5, 0.95} {
+		u := NewSketch()
+		u.Merge(a)
+		u.Merge(b)
+		if u.Quantile(q) != ab.Quantile(q) {
+			t.Errorf("p%.0f differs between merge orders", 100*q)
+		}
+	}
+}
+
+// TestSketchSignsAndExtremes covers the zero bucket, the negative mirror,
+// and the clamping of out-of-range magnitudes.
+func TestSketchSignsAndExtremes(t *testing.T) {
+	s := NewSketch()
+	for _, v := range []float64{-100, -1, 0, 0, 1, 100} {
+		s.Observe(v)
+	}
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("median of symmetric set = %v, want 0", got)
+	}
+	if got := s.Quantile(0); got >= -99 {
+		t.Errorf("p0 = %v, want ~-100", got)
+	}
+	if got := s.Quantile(1); got <= 99 {
+		t.Errorf("p100 = %v, want ~+100", got)
+	}
+
+	ext := NewSketch()
+	ext.Observe(math.Inf(1))
+	ext.Observe(math.Inf(-1))
+	ext.Observe(1e300)
+	ext.Observe(5e-20)
+	ext.Observe(math.NaN())
+	if ext.Count() != 4 {
+		t.Fatalf("count %d, want 4 (NaN ignored)", ext.Count())
+	}
+	if got := ext.Quantile(1); math.IsInf(got, 0) || got <= 0 {
+		t.Errorf("clamped +Inf quantile = %v, want large finite positive", got)
+	}
+
+	// Quantiles must be monotone in q.
+	rng := rand.New(rand.NewSource(3))
+	m := NewSketch()
+	for i := 0; i < 5000; i++ {
+		m.Observe(rng.NormFloat64() * 10)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := m.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%.2f: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestSketchApproxSum checks the midpoint-sum estimate against the true
+// sum within the relative error bound.
+func TestSketchApproxSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := NewSketch()
+	var exact float64
+	for i := 0; i < 20_000; i++ {
+		v := rng.ExpFloat64() * 7
+		exact += v
+		s.Observe(v)
+	}
+	got := s.ApproxSum()
+	if rel := math.Abs(got-exact) / exact; rel > s.RelErrBound() {
+		t.Fatalf("approx sum %.2f vs exact %.2f (rel err %.5f)", got, exact, rel)
+	}
+}

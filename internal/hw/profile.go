@@ -121,6 +121,37 @@ func ThinkPad560X() Profile {
 	}
 }
 
+// Scaled returns a hardware variant of the profile for heterogeneous-fleet
+// modeling: every component draw (display, NIC, disk, CPU, motherboard) is
+// multiplied by powerFactor and the wireless link bandwidth by linkFactor.
+// Timing constants (spin-down, resume, latency) and the superlinearity
+// coefficient are preserved, so a variant behaves like the same machine
+// built from a different bin of parts. Factors <= 0 are treated as 1, so
+// the zero value of a device class leaves the reference profile untouched.
+func (p Profile) Scaled(powerFactor, linkFactor float64) Profile {
+	if powerFactor <= 0 {
+		powerFactor = 1
+	}
+	if linkFactor <= 0 {
+		linkFactor = 1
+	}
+	p.DisplayBright *= powerFactor
+	p.DisplayDim *= powerFactor
+	p.DisplayOff *= powerFactor
+	p.NICIdle *= powerFactor
+	p.NICStandby *= powerFactor
+	p.NICTransfer *= powerFactor
+	p.NICOff *= powerFactor
+	p.DiskActive *= powerFactor
+	p.DiskIdle *= powerFactor
+	p.DiskStandby *= powerFactor
+	p.DiskOff *= powerFactor
+	p.Other *= powerFactor
+	p.CPUBusy *= powerFactor
+	p.LinkBandwidth *= linkFactor
+	return p
+}
+
 // Superlinear maps a component power sum to total system power.
 func (p Profile) Superlinear(sum float64) float64 {
 	excess := sum - p.Other

@@ -41,6 +41,10 @@ var detrandPackages = []string{
 	// whole-module taint/mapiter analyzers (PR 6).
 	"internal/trace",
 	"internal/powerscope",
+	// The fleet plane derives sessions and reduces scorecards that are
+	// byte-compared across parallelism widths; any wall-clock or global
+	// randomness would break the replay contract (PR 7).
+	"internal/fleet",
 }
 
 // detrandForbidden maps package path -> forbidden member -> short reason.

@@ -9,15 +9,15 @@ import (
 // Kernelctx protects the kernel's one-runnable-at-a-time handshake. The
 // unbuffered Kernel.yield and Proc.resume channels are the only
 // synchronization in the simulation: control passes kernel -> process on
-// resume and process -> kernel on yield, and exactly three functions are
-// allowed to touch them - (*Kernel).transfer, (*Proc).park, and
-// (*Kernel).Spawn (the bootstrap hand-off). A raw send or receive anywhere
-// else desynchronizes the handshake: either two goroutines run
-// simultaneously (a data race over all kernel state) or both sides block
-// forever.
+// resume and process -> kernel on yield, and exactly four functions are
+// allowed to touch them - (*Kernel).transfer, (*Proc).park,
+// (*Kernel).Spawn (the bootstrap hand-off), and (*Kernel).Shutdown (the
+// final kill exchange). A raw send or receive anywhere else desynchronizes
+// the handshake: either two goroutines run simultaneously (a data race
+// over all kernel state) or both sides block forever.
 //
 // Within internal/sim the analyzer flags any send, receive, or close on a
-// yield/resume field outside the blessed three. Outside internal/sim it
+// yield/resume field outside the blessed four. Outside internal/sim it
 // flags any reference to those fields or to transfer/park (possible only
 // via code cloned out of the package, but the rule is cheap to state).
 //
@@ -30,7 +30,7 @@ import (
 // data race over all simulation state.
 var Kernelctx = &Analyzer{
 	Name: "kernelctx",
-	Doc:  "confine Kernel.yield/Proc.resume channel operations to transfer, park, and Spawn; forbid sharing a kernel across goroutines",
+	Doc:  "confine Kernel.yield/Proc.resume channel operations to transfer, park, Spawn, and Shutdown; forbid sharing a kernel across goroutines",
 	Run:  runKernelctx,
 }
 
@@ -40,6 +40,7 @@ var kernelctxBlessed = map[string]bool{
 	"transfer": true,
 	"park":     true,
 	"Spawn":    true,
+	"Shutdown": true,
 }
 
 func runKernelctx(pass *Pass) {
@@ -69,7 +70,7 @@ func runKernelctxInside(pass *Pass) {
 						fn = fd.Name.Name
 					}
 					pass.Reportf(n.Pos(),
-						"direct %s on handshake channel %s in %s: only transfer, park, and Spawn may operate it",
+						"direct %s on handshake channel %s in %s: only transfer, park, Spawn, and Shutdown may operate it",
 						op, sel.Sel.Name, fn)
 				}
 				return true

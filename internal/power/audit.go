@@ -3,7 +3,6 @@ package power
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 )
 
@@ -48,16 +47,30 @@ func ConservationCheck(totalEnergy float64, byComponent, byPrincipal map[string]
 }
 
 // sumSorted adds a ledger's values in ascending key order, so the total is
-// a deterministic function of the ledger's contents.
+// a deterministic function of the ledger's contents. It runs below the
+// accountant's integrate step, so it must not allocate: instead of
+// collect-and-sort it does an O(n²) min-key selection walk, which is fine
+// for ledgers that never exceed a couple dozen principals.
 func sumSorted(m map[string]float64) float64 {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
 	var sum float64
-	for _, k := range keys {
-		sum += m[k]
+	var prev string
+	started := false
+	for n := len(m); n > 0; n-- {
+		var best string
+		haveBest := false
+		//odylint:allow mapiter min-key selection: each pass picks the smallest key above the previous one, so the fold order is the sorted key order regardless of iteration order
+		for k := range m {
+			if started && k <= prev {
+				continue
+			}
+			if !haveBest || k < best {
+				best = k
+				haveBest = true
+			}
+		}
+		sum += m[best]
+		prev = best
+		started = true
 	}
 	return sum
 }

@@ -64,6 +64,7 @@ type Meter struct {
 	out    func(t time.Duration, watts float64)
 	ev     *sim.Event
 	on     bool
+	tick   func() // sample-and-reschedule, allocated once at construction
 }
 
 // NewMeter creates a meter sampling acct every period (±jitter, uniform),
@@ -73,7 +74,15 @@ func NewMeter(k *sim.Kernel, acct *Accountant, period, jitter time.Duration, out
 		//odylint:allow panicfree constructor precondition; invariant guard
 		panic("power: meter period must be positive")
 	}
-	return &Meter{k: k, acct: acct, period: period, jitter: jitter, out: out}
+	m := &Meter{k: k, acct: acct, period: period, jitter: jitter, out: out}
+	m.tick = func() {
+		if !m.on {
+			return
+		}
+		m.out(m.k.Now(), m.acct.Power())
+		m.schedule()
+	}
+	return m
 }
 
 // Start begins sampling. It is a no-op if already running.
@@ -102,11 +111,7 @@ func (m *Meter) schedule() {
 			d = time.Nanosecond
 		}
 	}
-	m.ev = m.k.After(d, func() {
-		if !m.on {
-			return
-		}
-		m.out(m.k.Now(), m.acct.Power())
-		m.schedule()
-	})
+	// The tick closure is hoisted to construction time so each sample
+	// reschedule enqueues a preexisting func value instead of allocating.
+	m.ev = m.k.After(d, m.tick)
 }

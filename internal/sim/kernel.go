@@ -129,6 +129,36 @@ func (k *Kernel) After(d time.Duration, fn func()) *Event {
 // remain queued; Run may be called again to resume.
 func (k *Kernel) Stop() { k.stopped = true }
 
+// Shutdown terminates every live process goroutine and must be the kernel's
+// final act: call it from normal Go context after Run has returned, never
+// from an event callback or a process, and do not Run the kernel again.
+//
+// Run exits at the horizon (or on Stop) with parked processes still blocked
+// in their handshake receive; each blocked goroutine pins its stack and,
+// through it, the whole rig. A simulation that builds many kernels — the
+// fleet and chaos planes build one per session — would otherwise grow
+// memory with session count, not worker count. Shutdown walks the process
+// table in spawn order and, for each live process, performs one last baton
+// exchange with the killed flag set: park (or the initial resume in Spawn)
+// observes the flag and unwinds via the procKilled sentinel, runProc
+// recovers it, and the goroutine exits through the normal final hand-back.
+// The walk order is deterministic, but no simulation code runs during it —
+// only deferred cleanup in process bodies, which must not park again.
+func (k *Kernel) Shutdown() {
+	if k.running {
+		//odylint:allow panicfree Shutdown from kernel context would deadlock the handshake; invariant guard
+		panic("sim: Kernel.Shutdown called while running")
+	}
+	for _, p := range k.procs {
+		if p.dead {
+			continue
+		}
+		p.killed = true
+		p.resume <- struct{}{}
+		<-k.yield
+	}
+}
+
 // OnIdle registers a hook invoked when the event queue drains. If the hook
 // returns true the kernel keeps running (the hook is expected to have
 // scheduled more work); otherwise the run loop exits.
@@ -183,6 +213,7 @@ type Proc struct {
 	resume chan struct{}
 	parent *Proc
 	dead   bool
+	killed bool
 }
 
 // PID returns the process identifier (unique within a kernel, starting at 1).
@@ -202,12 +233,40 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	k.procs = append(k.procs, p)
 	go func() {
 		<-p.resume // wait for the kernel to hand over control
-		fn(p)
+		if !p.killed {
+			runProc(p, fn)
+		}
 		p.dead = true
 		k.yield <- struct{}{} // final hand-back; goroutine exits
 	}()
 	k.After(0, func() { k.transfer(p) })
 	return p
+}
+
+// procKilled is the panic sentinel park throws to unwind a process during
+// Kernel.Shutdown. It never escapes runProc. The single pre-boxed value
+// keeps the kill path allocation-free (park is on the kernel hot path).
+type procKilled struct{}
+
+var killSentinel any = procKilled{}
+
+// runProc executes the process body, converting a Shutdown-induced unwind
+// back into a normal return so the final hand-back in Spawn still runs.
+// Any other panic propagates unchanged.
+func runProc(p *Proc, fn func(p *Proc)) {
+	defer recoverKill()
+	fn(p)
+}
+
+// recoverKill absorbs the Shutdown kill sentinel. It must be the deferred
+// function itself so recover takes effect.
+func recoverKill() {
+	if r := recover(); r != nil {
+		if _, ok := r.(procKilled); !ok {
+			//odylint:allow panicfree re-raising a non-sentinel panic preserves the original failure
+			panic(r)
+		}
+	}
 }
 
 // Concurrency and happens-before contract
@@ -235,10 +294,10 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 // run's schedule depends only on the seed, never on the Go scheduler.
 // The contract imposes two obligations:
 //
-//   - Only transfer, park, and Spawn may operate yield/resume (enforced by
-//     odylint's kernelctx analyzer). A raw send or receive anywhere else
-//     would let two goroutines hold the baton at once - a data race over
-//     every kernel structure - or deadlock both sides.
+//   - Only transfer, park, Spawn, and Shutdown may operate yield/resume
+//     (enforced by odylint's kernelctx analyzer). A raw send or receive
+//     anywhere else would let two goroutines hold the baton at once - a
+//     data race over every kernel structure - or deadlock both sides.
 //   - Processes must not communicate outside the baton (no extra channels,
 //     no sync primitives): such communication is invisible to the virtual
 //     clock and would re-introduce Go-scheduler dependence.
@@ -261,6 +320,10 @@ func (k *Kernel) transfer(p *Proc) {
 func (p *Proc) park() {
 	p.k.yield <- struct{}{}
 	<-p.resume
+	if p.killed {
+		//odylint:allow panicfree kill sentinel; recovered by runProc, never escapes the process goroutine
+		panic(killSentinel)
+	}
 }
 
 // Sleep suspends the process for d of virtual time.
@@ -382,6 +445,7 @@ type Ticker struct {
 	k       *Kernel
 	period  time.Duration
 	fn      func()
+	tick    func() // run-and-reschedule, allocated once at construction
 	ev      *Event
 	running bool
 }
@@ -392,7 +456,15 @@ func (k *Kernel) Every(period time.Duration, fn func()) *Ticker {
 		//odylint:allow panicfree a zero period would loop the clock forever; invariant guard
 		panic(fmt.Sprintf("sim: ticker period must be positive, got %v", period))
 	}
-	return &Ticker{k: k, period: period, fn: fn}
+	t := &Ticker{k: k, period: period, fn: fn}
+	t.tick = func() {
+		if !t.running {
+			return
+		}
+		t.fn()
+		t.schedule()
+	}
+	return t
 }
 
 // Start begins ticking. It is a no-op if already running.
@@ -417,11 +489,7 @@ func (t *Ticker) Stop() {
 func (t *Ticker) Running() bool { return t.running }
 
 func (t *Ticker) schedule() {
-	t.ev = t.k.After(t.period, func() {
-		if !t.running {
-			return
-		}
-		t.fn()
-		t.schedule()
-	})
+	// The tick closure is hoisted to construction time so each period
+	// enqueues a preexisting func value instead of allocating one.
+	t.ev = t.k.After(t.period, t.tick)
 }

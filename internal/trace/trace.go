@@ -59,7 +59,9 @@ func NewLog(now func() time.Duration, cap int) *Log {
 	if cap <= 0 {
 		cap = 1 << 16
 	}
-	return &Log{now: now, cap: cap}
+	// The full backing array is reserved up front (pages are only touched
+	// as events land), so Add never allocates on the kernel hot path.
+	return &Log{now: now, cap: cap, events: make([]Event, 0, cap)}
 }
 
 // Add records an event at the current virtual time.
@@ -71,9 +73,15 @@ func (l *Log) Add(cat Category, subject, message string, value float64) {
 		l.events = l.events[:len(l.events)-n]
 		l.dropped += n
 	}
-	l.events = append(l.events, Event{
-		Time: l.now(), Category: cat, Subject: subject, Message: message, Value: value,
-	})
+	// Re-extend into the preallocated array and write fields in place.
+	i := len(l.events)
+	l.events = l.events[:i+1]
+	e := &l.events[i]
+	e.Time = l.now()
+	e.Category = cat
+	e.Subject = subject
+	e.Message = message
+	e.Value = value
 }
 
 // Len reports the number of retained events.

@@ -43,10 +43,19 @@
 #                                          every previously-failing scenario
 #                                          in the regression corpus must
 #                                          replay clean
-#  13. BENCH_kernel.json                   kernel performance artifact
+#  13. fleet smoke + determinism replay    a 600-session -race fleet soak
+#                                          must produce a scorecard
+#                                          byte-identical to a serial
+#                                          replay of the same seed
+#  14. BENCH_kernel.json                   kernel performance artifact
 #                                          (ns/op, allocs/op, scenarios/sec)
 #                                          tracking ROADMAP item 2; schema in
 #                                          EXPERIMENTS.md
+#  15. benchgate                           perf-regression gate: fresh
+#                                          artifact vs BENCH_baseline.json;
+#                                          >25% ns/op or allocs/op growth
+#                                          fails (ns/op gated only on a
+#                                          matching arch + Go version)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -120,8 +129,17 @@ if [ "${1:-}" != "fast" ]; then
     go run -race ./cmd/odyssey-chaos -soak 20 -seed 7 -out "$smokedir/chaos-failures"
     go run ./cmd/odyssey-chaos -corpus internal/chaos/testdata/corpus -v
 
+    echo "==> fleet smoke (-race, 600 sessions) + fixed-seed determinism replay"
+    go run -race ./cmd/odyssey-fleet -devices 600 -seed 7 -parallel 4 > "$smokedir/fleet_race.txt"
+    go run ./cmd/odyssey-fleet -devices 600 -seed 7 -parallel 1 > "$smokedir/fleet_serial.txt"
+    cmp "$smokedir/fleet_race.txt" "$smokedir/fleet_serial.txt" || {
+        echo "FAIL: fleet scorecard differs across parallelism/replay" >&2; exit 1; }
+
     echo "==> kernel performance artifact (BENCH_kernel.json)"
     BENCH_KERNEL_OUT=BENCH_kernel.json go test -run TestEmitBenchKernel .
+
+    echo "==> perf-regression gate (benchgate vs BENCH_baseline.json)"
+    go run ./cmd/benchgate -fresh BENCH_kernel.json -baseline BENCH_baseline.json
 fi
 
 echo "ALL CHECKS PASSED"
