@@ -350,6 +350,12 @@ type benchKernelReport struct {
 	// adversarial runs (faults, misbehavior, sentinels) per wall second.
 	ScenariosPerSec float64 `json:"scenarios_per_sec"`
 	Scenarios       int     `json:"scenarios"`
+	// SoakScenariosPerSec is the same metric measured through the chaos
+	// soak driver (scenario generation + sentinel audit + result merge on
+	// the experiment worker pool), the path the long-running soak harness
+	// and the fleet plane actually exercise.
+	SoakScenariosPerSec float64 `json:"soak_scenarios_per_sec"`
+	SoakScenarios       int     `json:"soak_scenarios"`
 }
 
 type benchKernelRow struct {
@@ -410,6 +416,23 @@ func TestEmitBenchKernel(t *testing.T) {
 		rep.ScenariosPerSec = nScenarios / wall
 	}
 
+	// Soak-path throughput: the same scenarios driven through chaos.Soak,
+	// which is what the odyssey-chaos soak harness and the fleet plane run.
+	const nSoak = 12
+	start = time.Now()
+	sum, err := chaos.Soak(chaos.SoakOptions{Seed: 1, Count: nSoak})
+	if err != nil {
+		t.Fatalf("soak batch: %v", err)
+	}
+	if !sum.OK() {
+		t.Fatalf("soak batch found %d sentinel failure(s)", len(sum.Failures))
+	}
+	soakWall := time.Since(start).Seconds()
+	rep.SoakScenarios = nSoak
+	if soakWall > 0 {
+		rep.SoakScenariosPerSec = nSoak / soakWall
+	}
+
 	f, err := os.Create(out)
 	if err != nil {
 		t.Fatal(err)
@@ -422,5 +445,6 @@ func TestEmitBenchKernel(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s: %d benchmarks, %.1f scenarios/sec", out, len(rep.Benchmarks), rep.ScenariosPerSec)
+	t.Logf("wrote %s: %d benchmarks, %.1f scenarios/sec, %.1f soak scenarios/sec",
+		out, len(rep.Benchmarks), rep.ScenariosPerSec, rep.SoakScenariosPerSec)
 }

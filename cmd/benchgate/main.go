@@ -35,6 +35,9 @@ type report struct {
 	Benchmarks      []row   `json:"benchmarks"`
 	ScenariosPerSec float64 `json:"scenarios_per_sec"`
 	Scenarios       int     `json:"scenarios"`
+	// Soak-path throughput (chaos.Soak driver); reported, never gated.
+	SoakScenariosPerSec float64 `json:"soak_scenarios_per_sec"`
+	SoakScenarios       int     `json:"soak_scenarios"`
 }
 
 type row struct {
@@ -99,6 +102,8 @@ func compare(w io.Writer, base, fresh *report, threshold float64) []string {
 	}
 	_, _ = fmt.Fprintf(w, "benchgate: scenarios/sec %.2f (baseline %.2f, informational)\n",
 		fresh.ScenariosPerSec, base.ScenariosPerSec)
+	_, _ = fmt.Fprintf(w, "benchgate: soak scenarios/sec %.2f (baseline %.2f, informational)\n",
+		fresh.SoakScenariosPerSec, base.SoakScenariosPerSec)
 	return regressions
 }
 

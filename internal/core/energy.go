@@ -129,8 +129,8 @@ type EnergyMonitor struct {
 	infeasibleSince  time.Duration // -1 when the condition does not hold
 	notifiedInfeasOn bool
 
-	sampleEv *sim.Event
-	evalEv   *sim.Event
+	sampleEv sim.Event
+	evalEv   sim.Event
 	running  bool
 
 	// OnInfeasible, if set, is called once when the monitor concludes the
@@ -197,14 +197,10 @@ func (em *EnergyMonitor) Start() {
 // Stop halts the monitor.
 func (em *EnergyMonitor) Stop() {
 	em.running = false
-	if em.sampleEv != nil {
-		em.sampleEv.Cancel()
-		em.sampleEv = nil
-	}
-	if em.evalEv != nil {
-		em.evalEv.Cancel()
-		em.evalEv = nil
-	}
+	em.sampleEv.Cancel()
+	em.sampleEv = sim.Event{}
+	em.evalEv.Cancel()
+	em.evalEv = sim.Event{}
 }
 
 // Degrades and Upgrades report the number of adaptation upcalls issued in

@@ -22,7 +22,7 @@ type ResourceMonitor struct {
 	period time.Duration
 	sample func() float64
 
-	ev      *sim.Event
+	ev      sim.Event
 	running bool
 }
 
@@ -50,10 +50,8 @@ func (m *ResourceMonitor) Start() {
 // Stop halts sampling.
 func (m *ResourceMonitor) Stop() {
 	m.running = false
-	if m.ev != nil {
-		m.ev.Cancel()
-		m.ev = nil
-	}
+	m.ev.Cancel()
+	m.ev = sim.Event{}
 }
 
 func (m *ResourceMonitor) schedule() {

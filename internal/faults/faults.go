@@ -147,7 +147,7 @@ func (pl *Plan) hold(mean, max time.Duration) time.Duration {
 // run in kernel context.
 type toggler struct {
 	pl      *Plan
-	ev      *sim.Event
+	ev      sim.Event
 	meanOK  time.Duration
 	meanBad time.Duration
 	maxBad  time.Duration
@@ -188,10 +188,8 @@ func (t *toggler) stop() {
 		return
 	}
 	t.stopped = true
-	if t.ev != nil {
-		t.ev.Cancel()
-		t.ev = nil
-	}
+	t.ev.Cancel()
+	t.ev = sim.Event{}
 	if t.faulted {
 		t.faulted = false
 		t.exit()

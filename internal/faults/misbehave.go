@@ -26,7 +26,7 @@ type AppCrash struct {
 	// MeanUp is the mean process lifetime between kills.
 	MeanUp time.Duration
 
-	ev    *sim.Event
+	ev    sim.Event
 	kills int
 }
 
@@ -45,7 +45,7 @@ func (c *AppCrash) Start(pl *Plan) {
 
 func (c *AppCrash) schedule(pl *Plan) {
 	c.ev = pl.k.After(pl.hold(c.MeanUp, 0), func() {
-		if c.ev == nil {
+		if c.ev == (sim.Event{}) {
 			return
 		}
 		if c.Health.Alive() {
@@ -59,10 +59,8 @@ func (c *AppCrash) schedule(pl *Plan) {
 
 // Stop implements Injector; the end-of-run cleanup revives the process.
 func (c *AppCrash) Stop() {
-	if c.ev != nil {
-		c.ev.Cancel()
-		c.ev = nil
-	}
+	c.ev.Cancel()
+	c.ev = sim.Event{}
 	c.Health.SetCrashed(false)
 }
 
@@ -131,7 +129,7 @@ type AppThrash struct {
 
 	t       toggler
 	pl      *Plan
-	pulseEv *sim.Event
+	pulseEv sim.Event
 	windows int
 	raises  int
 }
@@ -172,7 +170,7 @@ func (th *AppThrash) Start(pl *Plan) {
 // lasts (and the process lives), re-raise to full fidelity.
 func (th *AppThrash) pulse() {
 	th.pulseEv = th.pl.k.After(th.Period, func() {
-		if th.pulseEv == nil || !th.Health.Thrashing() {
+		if th.pulseEv == (sim.Event{}) || !th.Health.Thrashing() {
 			return
 		}
 		if th.Health.Alive() {
@@ -188,10 +186,8 @@ func (th *AppThrash) pulse() {
 
 // Stop implements Injector, ending any active window.
 func (th *AppThrash) Stop() {
-	if th.pulseEv != nil {
-		th.pulseEv.Cancel()
-		th.pulseEv = nil
-	}
+	th.pulseEv.Cancel()
+	th.pulseEv = sim.Event{}
 	th.t.stop()
 }
 

@@ -22,8 +22,8 @@ type DisplayDimmer struct {
 	OffAfter time.Duration
 
 	enabled bool
-	dimEv   *sim.Event
-	offEv   *sim.Event
+	dimEv   sim.Event
+	offEv   sim.Event
 
 	dims, offs int
 }
@@ -55,14 +55,10 @@ func (dm *DisplayDimmer) Disable() {
 }
 
 func (dm *DisplayDimmer) cancel() {
-	if dm.dimEv != nil {
-		dm.dimEv.Cancel()
-		dm.dimEv = nil
-	}
-	if dm.offEv != nil {
-		dm.offEv.Cancel()
-		dm.offEv = nil
-	}
+	dm.dimEv.Cancel()
+	dm.dimEv = sim.Event{}
+	dm.offEv.Cancel()
+	dm.offEv = sim.Event{}
 }
 
 // Touch records user or application activity: the panel brightens and the

@@ -48,7 +48,7 @@ type Disk struct {
 
 	state     DiskState
 	powerMgmt bool
-	spinDown  *sim.Event
+	spinDown  sim.Event
 
 	spinUps  int
 	accesses int
@@ -122,7 +122,7 @@ func (d *Disk) ForceStandby() {
 func (d *Disk) armSpinDown() {
 	d.cancelSpinDown()
 	d.spinDown = d.k.After(d.prof.DiskSpinDown, func() {
-		d.spinDown = nil
+		d.spinDown = sim.Event{}
 		if d.powerMgmt && d.state == DiskIdle {
 			d.setState(DiskStandby)
 		}
@@ -130,10 +130,8 @@ func (d *Disk) armSpinDown() {
 }
 
 func (d *Disk) cancelSpinDown() {
-	if d.spinDown != nil {
-		d.spinDown.Cancel()
-		d.spinDown = nil
-	}
+	d.spinDown.Cancel()
+	d.spinDown = sim.Event{}
 }
 
 // Access performs a disk operation lasting busy of virtual time, paying a

@@ -63,7 +63,7 @@ type DVSGovernor struct {
 	Speeds []float64
 
 	lastBusy float64
-	ev       *sim.Event
+	ev       sim.Event
 	running  bool
 	changes  int
 }
@@ -97,10 +97,8 @@ func (g *DVSGovernor) Start() {
 // Stop halts the governor and restores full speed.
 func (g *DVSGovernor) Stop() {
 	g.running = false
-	if g.ev != nil {
-		g.ev.Cancel()
-		g.ev = nil
-	}
+	g.ev.Cancel()
+	g.ev = sim.Event{}
 	//odylint:allow floateq speeds come from the discrete ladder, assigned never computed
 	if g.cpu.Speed() != 1.0 {
 		g.cpu.SetSpeed(1.0)

@@ -226,10 +226,10 @@ func (n *Network) flow(p *sim.Proc, principal string, bytes float64, deadline ti
 		n.link.Use(p, principal, total)
 		return nil
 	}
-	j := n.link.UseDeadline(p, principal, total, deadline)
-	if j != nil && j.Cancelled() {
+	cancelled, remaining := n.link.UseDeadline(p, principal, total, deadline)
+	if cancelled {
 		// Credit back the goodput share of what never made it across.
-		n.bytesMoved -= j.Remaining() * (bytes / total)
+		n.bytesMoved -= remaining * (bytes / total)
 		n.deadlineAborts++
 		return ErrDeadline
 	}
@@ -332,6 +332,6 @@ func (s *Server) DoDeadline(p *sim.Proc, d time.Duration, deadline time.Duration
 		s.res.Use(p, s.Name, sec)
 		return true
 	}
-	j := s.res.UseDeadline(p, s.Name, sec, deadline)
-	return j == nil || !j.Cancelled()
+	cancelled, _ := s.res.UseDeadline(p, s.Name, sec, deadline)
+	return !cancelled
 }

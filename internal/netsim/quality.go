@@ -28,7 +28,7 @@ type LinkQuality struct {
 
 	good        bool
 	running     bool
-	ev          *sim.Event
+	ev          sim.Event
 	transitions int
 }
 
@@ -65,10 +65,8 @@ func (q *LinkQuality) Start() {
 // Stop freezes the channel in its current state.
 func (q *LinkQuality) Stop() {
 	q.running = false
-	if q.ev != nil {
-		q.ev.Cancel()
-		q.ev = nil
-	}
+	q.ev.Cancel()
+	q.ev = sim.Event{}
 }
 
 func (q *LinkQuality) schedule() {

@@ -50,6 +50,13 @@ type Accountant struct {
 	byPrincipal    map[string]float64
 	componentCache float64
 	cacheValid     bool
+
+	// pendingDt batches the per-component ledger walk: component draws are
+	// piecewise constant and change far less often than CPU shares, so
+	// integrate only accumulates the elapsed seconds here and the O(components)
+	// map walk runs once per draw change (flushComponents) instead of once
+	// per integration segment.
+	pendingDt float64
 }
 
 // NewAccountant returns an accountant bound to k with no components.
@@ -70,8 +77,14 @@ func (a *Accountant) SetComponent(name string, watts float64) {
 		//odylint:allow panicfree negative draw corrupts every downstream integral; invariant guard
 		panic(fmt.Sprintf("power: component %q set to negative power %g", name, watts))
 	}
+	cur, known := a.components[name]
+	//odylint:allow floateq exact no-op detection: an unchanged draw extends the current constant segment, it does not start a new one
+	if known && cur == watts {
+		return
+	}
 	a.integrate()
-	if _, known := a.components[name]; !known {
+	a.flushComponents()
+	if !known {
 		i := sort.SearchStrings(a.order, name)
 		a.order = append(a.order, "")
 		copy(a.order[i+1:], a.order[i:])
@@ -85,10 +98,30 @@ func (a *Accountant) SetComponent(name string, watts float64) {
 func (a *Accountant) Component(name string) float64 { return a.components[name] }
 
 // SetShares updates the CPU ownership snapshot used for software
-// attribution. An empty slice means the idle principal is charged.
+// attribution. An empty slice means the idle principal is charged. A
+// snapshot identical to the current one is a no-op: it neither starts a
+// new integration segment nor copies the slice.
 func (a *Accountant) SetShares(shares []sim.Share) {
+	if sameShares(a.shares, shares) {
+		return
+	}
 	a.integrate()
 	a.shares = append(a.shares[:0], shares...)
+}
+
+// sameShares reports whether two ownership snapshots are elementwise
+// identical.
+func sameShares(a, b []sim.Share) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		//odylint:allow floateq exact no-op detection: identical snapshots extend the current segment, tolerance would merge genuinely different splits
+		if a[i].Principal != b[i].Principal || a[i].Fraction != b[i].Fraction {
+			return false
+		}
+	}
+	return true
 }
 
 // Power returns the current total draw including any superlinear term.
@@ -107,7 +140,11 @@ func (a *Accountant) Power() float64 {
 	return a.componentCache
 }
 
-// integrate accrues energy for the segment since the last change.
+// integrate accrues energy for the segment since the last change. The
+// per-component ledger walk is deferred: component draws are constant
+// until the next SetComponent, so the segment only contributes elapsed
+// time to pendingDt and flushComponents books the whole constant-draw
+// window at once.
 func (a *Accountant) integrate() {
 	now := a.k.Now()
 	dt := (now - a.last).Seconds()
@@ -117,19 +154,11 @@ func (a *Accountant) integrate() {
 	}
 	total := a.Power()
 	a.totalEnergy += total * dt
-
-	// Hardware attribution: each component at its own draw; any
-	// superlinear excess is booked to a pseudo-component.
-	sum := a.componentCache
-	for _, name := range a.order {
-		a.byComponent[name] += a.components[name] * dt
-	}
-	if excess := total - sum; excess > 1e-12 {
-		a.byComponent["superlinear"] += excess * dt
-	}
+	a.pendingDt += dt
 
 	// Software attribution: the full system draw goes to whoever holds
-	// the CPU, split by processor-sharing fraction.
+	// the CPU, split by processor-sharing fraction. Shares change with
+	// every job-set transition, so this stays per segment.
 	if len(a.shares) == 0 {
 		a.byPrincipal[IdlePrincipal] += total * dt
 	} else {
@@ -140,17 +169,45 @@ func (a *Accountant) integrate() {
 	a.checkInvariants()
 }
 
+// flushComponents books the accumulated constant-draw window into the
+// per-hardware-component ledger: each component at its own draw; any
+// superlinear excess goes to a pseudo-component. It must run before a
+// component draw changes and before byComponent is read.
+func (a *Accountant) flushComponents() {
+	dt := a.pendingDt
+	//odylint:allow floateq pendingDt is set to exactly 0 on flush; the guard detects "nothing accumulated", not numeric equality
+	if dt == 0 {
+		return
+	}
+	a.pendingDt = 0
+	total := a.Power()
+	sum := a.componentCache
+	for _, name := range a.order {
+		a.byComponent[name] += a.components[name] * dt
+	}
+	if excess := total - sum; excess > 1e-12 {
+		a.byComponent["superlinear"] += excess * dt
+	}
+}
+
 // checkInvariants runs the odysseydebug cross-checks (no-op in default
-// builds; see debug_on.go / debug_off.go).
+// builds; see debug_on.go / debug_off.go). Debug builds flush the batched
+// component ledger first so the cross-check sees a complete attribution —
+// the batching optimization is effectively disabled under the tag, which
+// is the point: every segment is audited.
 func (a *Accountant) checkInvariants() {
 	if debugAssertions {
+		a.flushComponents()
 		a.assertConsistent()
 	}
 }
 
 // Sync forces integration up to the current instant so that the energy
 // accessors reflect all elapsed time.
-func (a *Accountant) Sync() { a.integrate() }
+func (a *Accountant) Sync() {
+	a.integrate()
+	a.flushComponents()
+}
 
 // TotalEnergy returns joules consumed since construction (after Sync).
 func (a *Accountant) TotalEnergy() float64 {
@@ -161,6 +218,7 @@ func (a *Accountant) TotalEnergy() float64 {
 // EnergyByComponent returns a copy of the per-hardware-component integrals.
 func (a *Accountant) EnergyByComponent() map[string]float64 {
 	a.integrate()
+	a.flushComponents()
 	out := make(map[string]float64, len(a.byComponent))
 	for k, v := range a.byComponent {
 		out[k] = v

@@ -81,5 +81,6 @@ func sumSorted(m map[string]float64) float64 {
 // per-step assertion.
 func (a *Accountant) AuditConservation() error {
 	a.integrate()
+	a.flushComponents()
 	return ConservationCheck(a.totalEnergy, a.byComponent, a.byPrincipal, a.last)
 }

@@ -62,7 +62,7 @@ type Meter struct {
 	period time.Duration
 	jitter time.Duration
 	out    func(t time.Duration, watts float64)
-	ev     *sim.Event
+	ev     sim.Event
 	on     bool
 	tick   func() // sample-and-reschedule, allocated once at construction
 }
@@ -97,10 +97,9 @@ func (m *Meter) Start() {
 // Stop halts sampling.
 func (m *Meter) Stop() {
 	m.on = false
-	if m.ev != nil {
-		m.ev.Cancel()
-		m.ev = nil
-	}
+	m.ev.Cancel()
+	//odylint:allow hotalloc zeroing a value field; no heap allocation
+	m.ev = sim.Event{}
 }
 
 func (m *Meter) schedule() {

@@ -1,10 +1,13 @@
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
-// The kernel advances a virtual clock through a heap of scheduled events.
-// Model code runs either as plain event callbacks (see Kernel.At) or as
-// processes: goroutines that interleave with the kernel under a strict
-// one-runnable-at-a-time handshake, so that a simulation is fully
-// deterministic for a given seed regardless of the Go scheduler.
+// The kernel advances a virtual clock through a timing structure built from
+// three tiers — a runnable ring for zero-delay work, a timer wheel for
+// near-future timers, and a binary heap for everything else — all serviced
+// in one global (time, sequence) order. Model code runs either as plain
+// event callbacks (see Kernel.At) or as processes: goroutines that
+// interleave with the kernel under a strict one-runnable-at-a-time
+// handshake, so that a simulation is fully deterministic for a given seed
+// regardless of the Go scheduler.
 //
 // The package also provides the shared building blocks used throughout the
 // Odyssey reproduction: processor-sharing resources (used for both the CPU
@@ -15,30 +18,77 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"time"
 )
 
-// Event is a scheduled callback. It is returned by the scheduling methods so
-// callers can cancel it before it fires.
-type Event struct {
+// timer is the kernel-internal scheduled-callback node. Timers are pooled:
+// when one fires or is cancelled it returns to the kernel's free list and
+// its generation counter is bumped, so a stale Event handle can never
+// cancel the timer's next occupant (see Event).
+type timer struct {
+	k      *Kernel
 	at     time.Duration
 	seq    uint64
+	gen    uint64
 	fn     func()
-	index  int // heap index; -1 when not queued
+	index  int // heap index; timerIdle when not queued; timerInWheel in a wheel slot
 	cancel bool
 }
 
-// At reports the virtual time the event is scheduled to fire.
-func (e *Event) At() time.Duration { return e.at }
+const (
+	timerIdle    = -1
+	timerInWheel = -2
+)
 
-// Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired (or was already cancelled) is a no-op.
-func (e *Event) Cancel() {
-	e.cancel = true
+// Event is a cancellable handle to a scheduled callback, returned by the
+// scheduling methods. It is a value type: the zero Event is valid and all
+// its methods are no-ops. The handle pairs a pooled timer with the
+// generation it was issued for, so operating on an Event whose callback
+// has already fired (or been cancelled) is always safe even though the
+// underlying timer may since have been recycled for an unrelated event.
+type Event struct {
+	t   *timer
+	gen uint64
 }
 
-type eventHeap []*Event
+// At reports the virtual time the event is scheduled to fire, or 0 if the
+// event already fired, was cancelled, or is the zero Event.
+func (e Event) At() time.Duration {
+	if !e.Pending() {
+		return 0
+	}
+	return e.t.at
+}
+
+// Pending reports whether the event is still queued to fire.
+func (e Event) Pending() bool {
+	return e.t != nil && e.t.gen == e.gen
+}
+
+// Cancel prevents a pending event from firing, removing it from the timing
+// structure immediately (heap timers via their maintained index, wheel
+// timers via their slot) so repeatedly cancelled long-horizon timers cost
+// no residual memory. Cancelling an event that has already fired (or was
+// already cancelled) is a no-op: the generation check rejects the stale
+// handle.
+func (e Event) Cancel() {
+	tm := e.t
+	if tm == nil || tm.gen != e.gen {
+		return
+	}
+	k := tm.k
+	switch {
+	case tm.index >= 0:
+		heap.Remove(&k.events, tm.index)
+		k.recycleTimer(tm)
+	case tm.index == timerInWheel:
+		k.removeFromWheel(tm)
+	}
+}
+
+type eventHeap []*timer
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
@@ -53,8 +103,9 @@ func (h eventHeap) Swap(i, j int) {
 	h[j].index = j
 }
 func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
+	e := x.(*timer)
 	e.index = len(*h)
+	//odylint:allow hotalloc heap growth is amortized: the backing array is retained across events
 	*h = append(*h, e)
 }
 func (h *eventHeap) Pop() any {
@@ -62,19 +113,69 @@ func (h *eventHeap) Pop() any {
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
-	e.index = -1
+	e.index = timerIdle
 	*h = old[:n-1]
 	return e
 }
 
-// Kernel is the simulation executive: a virtual clock plus an event queue.
-// A Kernel must be created with NewKernel. Kernels are not safe for use from
-// multiple goroutines except through the process handshake managed here.
+// Timer-wheel geometry: wheelSlots slots of 1<<wheelGranBits nanoseconds
+// each. With 19 bits (~524 us) and 256 slots the wheel covers ~134 ms of
+// virtual time ahead of the flushed boundary — wide enough for the timers
+// that dominate event traffic (ticker periods, processor-sharing
+// completions, netsim backoff) while far timers overflow to the heap.
+const (
+	wheelGranBits = 19
+	wheelSlots    = 256 // power of two
+	wheelMask     = wheelSlots - 1
+)
+
+// ringEntry is one zero-delay runnable: either a process to hand the baton
+// to or a callback to invoke. Entries carry the (at, seq) pair they would
+// have had as heap events, so the run loop can merge the ring against the
+// heap in the exact global order a pure-heap kernel would produce.
+type ringEntry struct {
+	at  time.Duration
+	seq uint64
+	p   *Proc
+	fn  func()
+}
+
+// Kernel is the simulation executive: a virtual clock plus a three-tier
+// timing structure (runnable ring, timer wheel, event heap). A Kernel must
+// be created with NewKernel. Kernels are not safe for use from multiple
+// goroutines except through the process handshake managed here.
 type Kernel struct {
-	now    time.Duration
+	now time.Duration
+	seq uint64
+	rng *rand.Rand
+
+	// events holds far timers (beyond the wheel horizon) and near timers
+	// whose wheel slot has been flushed. Its top, merged against the ring
+	// front, is the next event to dispatch.
 	events eventHeap
-	seq    uint64
-	rng    *rand.Rand
+	free   []*timer // timer pool; recycled nodes with bumped generations
+
+	// ring is a circular FIFO of zero-delay runnables (always a power of
+	// two long). Entries are pushed with at == now, so the ring is sorted
+	// by (at, seq) by construction.
+	ring     []ringEntry
+	ringHead int
+	ringLen  int
+
+	// wheel holds near-future timers in unsorted slots; wheelLive is the
+	// slot-occupancy bitmap, wheelPos the absolute index of the first
+	// unflushed slot, and wheelCount the total timers resident. Slots are
+	// flushed into the heap (restoring (at, seq) order) before the clock
+	// enters them.
+	wheel      [wheelSlots][]*timer
+	wheelLive  [wheelSlots / 64]uint64
+	wheelPos   int64
+	wheelCount int
+
+	// pureHeap disables the ring and wheel so every event goes through the
+	// heap — the reference scheduling mode the property tests compare the
+	// hybrid against. Test-only.
+	pureHeap bool
 
 	// yield is signalled by a process goroutine whenever it hands control
 	// back to the kernel (by blocking or terminating).
@@ -104,25 +205,198 @@ func (k *Kernel) Now() time.Duration { return k.now }
 // Rand returns the kernel's deterministic random source.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
+// newTimer returns a pooled timer node, allocating only when the free list
+// is empty.
+func (k *Kernel) newTimer() *timer {
+	if n := len(k.free); n > 0 {
+		tm := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return tm
+	}
+	//odylint:allow hotalloc pool refill is amortized: a recycled timer serves every later event scheduled through it
+	return &timer{k: k, index: timerIdle}
+}
+
+// recycleTimer returns a fired or cancelled timer to the pool, bumping its
+// generation so outstanding Event handles go stale.
+func (k *Kernel) recycleTimer(tm *timer) {
+	tm.gen++
+	tm.fn = nil
+	tm.cancel = false
+	tm.index = timerIdle
+	//odylint:allow hotalloc free-list growth is amortized: capacity is retained across events
+	k.free = append(k.free, tm)
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // (before Now) panics: it would silently reorder causality.
-func (k *Kernel) At(t time.Duration, fn func()) *Event {
+func (k *Kernel) At(t time.Duration, fn func()) Event {
 	if t < k.now {
-		//odylint:allow panicfree scheduling into the past breaks causality; no caller can handle it
+		//odylint:allow panicfree,hotalloc scheduling into the past breaks causality; the Sprintf boxing is on the doomed path only
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
 	k.seq++
-	e := &Event{at: t, seq: k.seq, fn: fn, index: -1}
-	heap.Push(&k.events, e)
-	return e
+	tm := k.newTimer()
+	tm.at = t
+	tm.seq = k.seq
+	tm.fn = fn
+	k.enqueue(tm)
+	//odylint:allow hotalloc Event is a two-word value handle returned on the stack; nothing escapes
+	return Event{t: tm, gen: tm.gen}
 }
 
 // After schedules fn to run d from now.
-func (k *Kernel) After(d time.Duration, fn func()) *Event {
+func (k *Kernel) After(d time.Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
 	return k.At(k.now+d, fn)
+}
+
+// enqueue places a timer in the wheel when its deadline falls inside the
+// wheel window, otherwise in the heap.
+func (k *Kernel) enqueue(tm *timer) {
+	if !k.pureHeap {
+		s := int64(tm.at >> wheelGranBits)
+		if k.wheelCount == 0 {
+			// Empty wheel: snap the window forward so near timers keep
+			// landing in it after long idle stretches.
+			if nowPos := int64(k.now >> wheelGranBits); nowPos > k.wheelPos {
+				k.wheelPos = nowPos
+			}
+		}
+		if s >= k.wheelPos && s < k.wheelPos+wheelSlots {
+			ci := s & wheelMask
+			tm.index = timerInWheel
+			//odylint:allow hotalloc slot growth is amortized: slot backing arrays are retained across revolutions
+			k.wheel[ci] = append(k.wheel[ci], tm)
+			k.wheelLive[ci>>6] |= 1 << (ci & 63)
+			k.wheelCount++
+			return
+		}
+	}
+	heap.Push(&k.events, tm)
+}
+
+// removeFromWheel cancels a wheel-resident timer by swap-removing it from
+// its slot (order within a slot is immaterial: flushing restores global
+// order through the heap) and recycling it immediately.
+func (k *Kernel) removeFromWheel(tm *timer) {
+	ci := (int64(tm.at >> wheelGranBits)) & wheelMask
+	slot := k.wheel[ci]
+	for i, q := range slot {
+		if q == tm {
+			n := len(slot) - 1
+			slot[i] = slot[n]
+			slot[n] = nil
+			k.wheel[ci] = slot[:n]
+			if n == 0 {
+				k.wheelLive[ci>>6] &^= 1 << (ci & 63)
+			}
+			k.wheelCount--
+			k.recycleTimer(tm)
+			return
+		}
+	}
+}
+
+// nextOccupiedSlot returns the absolute index of the first non-empty wheel
+// slot at or after wheelPos. It must only be called when wheelCount > 0.
+// The occupancy bitmap makes this a handful of word scans regardless of
+// how far ahead the next timer lies.
+func (k *Kernel) nextOccupiedSlot() int64 {
+	start := k.wheelPos & wheelMask
+	for off := int64(0); off < wheelSlots; {
+		ci := (start + off) & wheelMask
+		w := k.wheelLive[ci>>6] >> (ci & 63)
+		if w != 0 {
+			return k.wheelPos + off + int64(bits.TrailingZeros64(w))
+		}
+		off += 64 - (ci & 63) // jump to the next bitmap word boundary
+	}
+	// Unreachable while the wheelCount/wheelLive invariants hold.
+	//odylint:allow panicfree wheel bookkeeping invariant; no caller can handle a corrupt occupancy bitmap
+	panic("sim: timer wheel count/bitmap mismatch")
+}
+
+// flushSlot moves every timer in the slot at absolute index abs into the
+// heap and advances the flushed boundary past it.
+func (k *Kernel) flushSlot(abs int64) {
+	ci := abs & wheelMask
+	slot := k.wheel[ci]
+	for i, tm := range slot {
+		heap.Push(&k.events, tm)
+		slot[i] = nil
+	}
+	k.wheelCount -= len(slot)
+	k.wheel[ci] = slot[:0]
+	k.wheelLive[ci>>6] &^= 1 << (ci & 63)
+	k.wheelPos = abs + 1
+}
+
+// syncWheel flushes wheel slots into the heap until the heap's top timer
+// provably precedes every wheel-resident timer (every wheel timer sits in
+// an unflushed slot, so heap-top in the flushed region wins). Empty slot
+// ranges are crossed in O(1) by jumping straight to the next occupied slot
+// or to the heap top's slot, whichever is nearer.
+func (k *Kernel) syncWheel() {
+	for k.wheelCount > 0 {
+		if len(k.events) > 0 {
+			hSlot := int64(k.events[0].at >> wheelGranBits)
+			if hSlot < k.wheelPos {
+				return
+			}
+			next := k.nextOccupiedSlot()
+			if hSlot < next {
+				k.wheelPos = hSlot + 1 // slots up to hSlot are empty: trivially flushed
+				return
+			}
+			k.flushSlot(next)
+		} else {
+			k.flushSlot(k.nextOccupiedSlot())
+		}
+	}
+}
+
+// runNext schedules a zero-delay runnable — a process hand-off (p != nil)
+// or a callback — on the runnable ring. Ring entries consume a sequence
+// number exactly as a heap event would, and the run loop merges the ring
+// against the heap by (at, seq), so runNext is observationally identical
+// to After(0, ...) minus the closure and heap traffic. In the pure-heap
+// reference mode it degrades to exactly that.
+func (k *Kernel) runNext(p *Proc, fn func()) {
+	if k.pureHeap {
+		if p != nil {
+			fn = p.wakeFn
+		}
+		k.At(k.now, fn)
+		return
+	}
+	k.seq++
+	if k.ringLen == len(k.ring) {
+		k.growRing()
+	}
+	i := (k.ringHead + k.ringLen) & (len(k.ring) - 1)
+	//odylint:allow hotalloc value write into the retained ring backing array; no heap allocation
+	k.ring[i] = ringEntry{at: k.now, seq: k.seq, p: p, fn: fn}
+	k.ringLen++
+}
+
+// growRing doubles the ring's capacity (to a power of two), unwrapping the
+// circular contents in order.
+func (k *Kernel) growRing() {
+	n := len(k.ring) * 2
+	if n == 0 {
+		n = 16
+	}
+	//odylint:allow hotalloc ring growth is amortized: capacity doubles and is retained for the kernel's lifetime
+	next := make([]ringEntry, n)
+	for i := 0; i < k.ringLen; i++ {
+		next[i] = k.ring[(k.ringHead+i)&(len(k.ring)-1)]
+	}
+	k.ring = next
+	k.ringHead = 0
 }
 
 // Stop halts the run loop after the current event completes. Pending events
@@ -164,9 +438,15 @@ func (k *Kernel) Shutdown() {
 // scheduled more work); otherwise the run loop exits.
 func (k *Kernel) OnIdle(fn func() bool) { k.idleHooks = append(k.idleHooks, fn) }
 
-// Run executes events in timestamp order until the queue is empty, Stop is
-// called, or the clock would pass horizon (use horizon <= 0 for no limit).
-// It returns the virtual time at exit.
+// Run executes events in (timestamp, sequence) order until the queue is
+// empty, Stop is called, or the clock would pass horizon (use horizon <= 0
+// for no limit). It returns the virtual time at exit.
+//
+// Each iteration readies the heap against the wheel (syncWheel), then
+// services the runnable ring or the heap top, whichever carries the
+// smaller (at, seq) pair — the same total order a single heap would
+// produce, at ring-pop cost for the zero-delay traffic that dominates
+// process scheduling.
 func (k *Kernel) Run(horizon time.Duration) time.Duration {
 	if k.running {
 		//odylint:allow panicfree re-entrant Run corrupts the handshake; invariant guard
@@ -177,29 +457,57 @@ func (k *Kernel) Run(horizon time.Duration) time.Duration {
 	defer func() { k.running = false }()
 
 	for !k.stopped {
-		if len(k.events) == 0 {
+		k.syncWheel()
+		if k.ringLen == 0 && len(k.events) == 0 {
 			again := false
 			for _, h := range k.idleHooks {
 				if h() {
 					again = true
 				}
 			}
-			if !again || len(k.events) == 0 {
+			if !again || (k.ringLen == 0 && len(k.events) == 0 && k.wheelCount == 0) {
 				break
 			}
-		}
-		e := k.events[0]
-		if e.cancel {
-			heap.Pop(&k.events)
 			continue
 		}
-		if horizon > 0 && e.at > horizon {
+		if k.ringLen > 0 {
+			re := &k.ring[k.ringHead]
+			if len(k.events) == 0 || re.at < k.events[0].at ||
+				(re.at == k.events[0].at && re.seq < k.events[0].seq) {
+				// Ring entries were scheduled at (or before) the current
+				// clock reading, so servicing one never advances the
+				// clock and never crosses the horizon.
+				p, fn := re.p, re.fn
+				re.p, re.fn = nil, nil
+				k.ringHead = (k.ringHead + 1) & (len(k.ring) - 1)
+				k.ringLen--
+				if p != nil {
+					k.transfer(p)
+				} else {
+					fn()
+				}
+				continue
+			}
+		}
+		tm := k.events[0]
+		if tm.cancel {
+			// Defensive: Cancel removes timers eagerly, so a cancelled
+			// head should not occur; tolerate one anyway.
+			heap.Pop(&k.events)
+			k.recycleTimer(tm)
+			continue
+		}
+		if horizon > 0 && tm.at > horizon {
 			k.now = horizon
 			break
 		}
 		heap.Pop(&k.events)
-		k.now = e.at
-		e.fn()
+		at, fn := tm.at, tm.fn
+		// Recycle before dispatch: a handle cancelled from within its own
+		// callback is already stale, matching fired-event semantics.
+		k.recycleTimer(tm)
+		k.now = at
+		fn()
 	}
 	return k.now
 }
@@ -214,6 +522,7 @@ type Proc struct {
 	parent *Proc
 	dead   bool
 	killed bool
+	wakeFn func() // hoisted k.transfer(p) closure, allocated once at Spawn
 }
 
 // PID returns the process identifier (unique within a kernel, starting at 1).
@@ -230,6 +539,7 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	k.nextPID++
 	p := &Proc{k: k, pid: k.nextPID, name: name, resume: make(chan struct{})}
+	p.wakeFn = func() { k.transfer(p) }
 	k.procs = append(k.procs, p)
 	go func() {
 		<-p.resume // wait for the kernel to hand over control
@@ -239,7 +549,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		p.dead = true
 		k.yield <- struct{}{} // final hand-back; goroutine exits
 	}()
-	k.After(0, func() { k.transfer(p) })
+	k.runNext(p, nil)
 	return p
 }
 
@@ -292,6 +602,14 @@ func recoverKill() {
 // the baton. That is why none of it carries locks, why the race detector
 // stays quiet although processes run on distinct goroutines, and why a
 // run's schedule depends only on the seed, never on the Go scheduler.
+//
+// The runnable ring does not weaken the contract: a ring entry is only a
+// record of a pending hand-off, pushed while its creator holds the baton
+// and consumed by the kernel's Run loop, which performs the actual
+// transfer. Handing the baton over still happens exclusively through the
+// two channels above; the ring merely replaces the heap as the place the
+// pending hand-off waits its deterministic (at, seq) turn.
+//
 // The contract imposes two obligations:
 //
 //   - Only transfer, park, Spawn, and Shutdown may operate yield/resume
@@ -310,6 +628,7 @@ func (k *Kernel) transfer(p *Proc) {
 	}
 	prev := k.current
 	k.current = p
+	//odylint:allow hotalloc struct{}{} is zero-size; the channel send allocates nothing
 	p.resume <- struct{}{}
 	<-k.yield
 	k.current = prev
@@ -326,13 +645,16 @@ func (p *Proc) park() {
 	}
 }
 
-// Sleep suspends the process for d of virtual time.
+// Sleep suspends the process for d of virtual time. A zero (or negative)
+// duration yields through the runnable ring: the process resumes at the
+// same instant, after everything already scheduled for it.
 func (p *Proc) Sleep(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
 	k := p.k
-	k.After(d, func() { k.transfer(p) })
+	if d <= 0 {
+		k.runNext(p, nil)
+	} else {
+		k.At(k.now+d, p.wakeFn)
+	}
 	p.park()
 }
 
@@ -369,15 +691,16 @@ func (w *WaitList) Wait(p *Proc) {
 }
 
 // WakeOne unparks the longest-waiting process, if any. The wakeup is
-// scheduled as an immediate event so WakeOne is safe to call from kernel
-// context or from another process.
+// queued on the runnable ring — consumed by the kernel loop in the same
+// (at, seq) turn an immediate event would take — so WakeOne is safe to
+// call from kernel context or from another process.
 func (w *WaitList) WakeOne() bool {
 	if len(w.waiters) == 0 {
 		return false
 	}
 	p := w.waiters[0]
 	w.waiters = w.waiters[1:]
-	w.k.After(0, func() { w.k.transfer(p) })
+	w.k.runNext(p, nil)
 	return true
 }
 
@@ -446,7 +769,7 @@ type Ticker struct {
 	period  time.Duration
 	fn      func()
 	tick    func() // run-and-reschedule, allocated once at construction
-	ev      *Event
+	ev      Event
 	running bool
 }
 
@@ -462,7 +785,12 @@ func (k *Kernel) Every(period time.Duration, fn func()) *Ticker {
 			return
 		}
 		t.fn()
-		t.schedule()
+		// Re-check running: fn may have called Stop, and rescheduling
+		// anyway would leave a live event that a later Start double-books
+		// into a ticker firing at twice the rate.
+		if t.running {
+			t.schedule()
+		}
 	}
 	return t
 }
@@ -479,10 +807,9 @@ func (t *Ticker) Start() {
 // Stop halts the ticker; Start may be called again.
 func (t *Ticker) Stop() {
 	t.running = false
-	if t.ev != nil {
-		t.ev.Cancel()
-		t.ev = nil
-	}
+	t.ev.Cancel()
+	//odylint:allow hotalloc zeroing a value field; no heap allocation
+	t.ev = Event{}
 }
 
 // Running reports whether the ticker is active.

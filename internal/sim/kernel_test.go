@@ -384,7 +384,7 @@ func TestKernelEventStorm(t *testing.T) {
 		k := NewKernel(5)
 		var fired []time.Duration
 		cancelled := make(map[int]bool)
-		events := make([]*Event, len(spec))
+		events := make([]Event, len(spec))
 		for i, s := range spec {
 			i := i
 			at := time.Duration(s%1000) * time.Millisecond

@@ -10,24 +10,31 @@ import (
 // absorbing float64/time.Duration conversion residue.
 func (r *PSResource) epsilon() float64 { return r.capacity * 1e-9 }
 
-// PSJob is one unit of work being served by a PSResource.
+// PSJob is one unit of work being served by a PSResource. Jobs are pooled
+// per resource: a job is valid from submission until it completes or is
+// cancelled, after which the resource recycles it for a later submission.
+// Blocking submitters (Use, UseDeadline) observe their job's outcome
+// before it is recycled; asynchronous work (UseAsync) signals completion
+// through its callback and exposes no handle.
 type PSJob struct {
 	// Principal names the software component the work is attributed to
 	// (e.g. "xanim", "X", "wavelan"). Power accounting and PowerScope
 	// sampling use it.
 	Principal string
 
-	remaining float64
-	owner     *Proc  // parked process to wake on completion; nil for async jobs
-	onDone    func() // optional completion callback (async jobs)
-	cancelled bool
+	res        *PSResource
+	remaining  float64
+	owner      *Proc  // parked process to wake on completion; nil for async jobs
+	onDone     func() // optional completion callback (async jobs)
+	cancelled  bool
+	cancelSelf func() // hoisted deadline-watchdog body, allocated once per pooled job
 }
 
 // Remaining reports the work left, in resource units.
 func (j *PSJob) Remaining() float64 { return j.remaining }
 
 // Cancelled reports whether the job was removed from service before
-// completion (see PSResource.CancelJob).
+// completion (see PSResource.cancelJob).
 func (j *PSJob) Cancelled() bool { return j.cancelled }
 
 // PSResource is an egalitarian processor-sharing server: capacity units of
@@ -39,8 +46,11 @@ type PSResource struct {
 	capacity float64
 
 	jobs       []*PSJob
+	free       []*PSJob // job pool
+	finished   []*PSJob // scratch for complete(); retained across events
 	lastUpdate time.Duration
-	completion *Event
+	completion Event
+	completeFn func() // hoisted method value of complete
 
 	// OnChange, if set, is invoked whenever the active job set changes
 	// (job added or removed), after the resource state is consistent.
@@ -57,7 +67,40 @@ func NewPSResource(k *Kernel, name string, capacity float64) *PSResource {
 		//odylint:allow panicfree constructor precondition; invariant guard
 		panic(fmt.Sprintf("sim: PSResource %q capacity must be positive, got %g", name, capacity))
 	}
-	return &PSResource{k: k, name: name, capacity: capacity, lastUpdate: k.Now()}
+	r := &PSResource{k: k, name: name, capacity: capacity, lastUpdate: k.Now()}
+	r.completeFn = r.complete
+	return r
+}
+
+// newJob returns a pooled job initialized for service.
+func (r *PSResource) newJob(principal string, demand float64, owner *Proc, onDone func()) *PSJob {
+	var j *PSJob
+	if n := len(r.free); n > 0 {
+		j = r.free[n-1]
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+	} else {
+		//odylint:allow hotalloc pool refill is amortized: a recycled job serves every later submission through it
+		j = &PSJob{res: r}
+		//odylint:allow hotalloc pool-miss only: the cancel closure is allocated once per pooled job and reused forever after
+		j.cancelSelf = func() { r.cancelJob(j) }
+	}
+	j.Principal = principal
+	j.remaining = demand
+	j.owner = owner
+	j.onDone = onDone
+	j.cancelled = false
+	return j
+}
+
+// recycleJob returns a retired job to the pool. The caller must be the
+// last holder of the job: blocking submitters recycle after reading their
+// outcome, complete() recycles async jobs after their callback runs.
+func (r *PSResource) recycleJob(j *PSJob) {
+	j.owner = nil
+	j.onDone = nil
+	//odylint:allow hotalloc pool growth is amortized: capacity is retained across submissions
+	r.free = append(r.free, j)
 }
 
 // Name returns the resource name.
@@ -131,10 +174,9 @@ func (r *PSResource) advance() {
 // reschedule cancels any pending completion event and schedules one for the
 // earliest-finishing job, if any.
 func (r *PSResource) reschedule() {
-	if r.completion != nil {
-		r.completion.Cancel()
-		r.completion = nil
-	}
+	r.completion.Cancel()
+	//odylint:allow hotalloc zeroing a value field; no heap allocation
+	r.completion = Event{}
 	if len(r.jobs) == 0 {
 		return
 	}
@@ -148,19 +190,20 @@ func (r *PSResource) reschedule() {
 		min = 0
 	}
 	dt := min * float64(len(r.jobs)) / r.capacity
-	r.completion = r.k.After(time.Duration(dt*float64(time.Second))+1, r.complete)
+	r.completion = r.k.After(time.Duration(dt*float64(time.Second))+1, r.completeFn)
 }
 
 // complete retires every job whose work is done, wakes owners, and invokes
 // async callbacks.
 func (r *PSResource) complete() {
-	r.completion = nil
+	r.completion = Event{}
 	r.advance()
-	var finished []*PSJob
+	finished := r.finished[:0]
 	eps := r.epsilon()
 	keep := r.jobs[:0]
 	for _, j := range r.jobs {
 		if j.remaining <= eps {
+			//odylint:allow hotalloc scratch growth is amortized: the finished buffer is retained across completions
 			finished = append(finished, j)
 		} else {
 			keep = append(keep, j)
@@ -179,14 +222,23 @@ func (r *PSResource) complete() {
 			j.onDone()
 		}
 		if j.owner != nil {
+			// The owner (parked in Use/UseDeadline) reads the job's
+			// outcome and recycles it before submitting new work.
 			r.k.transfer(j.owner)
+		} else {
+			r.recycleJob(j)
 		}
 	}
+	for i := range finished {
+		finished[i] = nil
+	}
+	r.finished = finished[:0]
 }
 
 // add inserts a job and updates scheduling state.
 func (r *PSResource) add(j *PSJob) {
 	r.advance()
+	//odylint:allow hotalloc job-list growth is amortized: capacity is retained across submissions
 	r.jobs = append(r.jobs, j)
 	r.reschedule()
 	if r.OnChange != nil {
@@ -200,38 +252,42 @@ func (r *PSResource) Use(p *Proc, principal string, demand float64) {
 	if demand <= 0 {
 		return
 	}
-	j := &PSJob{Principal: principal, remaining: demand, owner: p}
+	j := r.newJob(principal, demand, p, nil)
 	r.add(j)
 	p.park()
+	r.recycleJob(j)
 }
 
-// UseDeadline is Use with an absolute virtual-time deadline: if the work has
-// not completed by deadline the job is cancelled and the caller resumes
-// immediately. A deadline of zero (or in the past at submission with nothing
-// served) disables the watchdog. It returns the job so callers can check
-// Cancelled and Remaining; nil means there was nothing to do.
-func (r *PSResource) UseDeadline(p *Proc, principal string, demand float64, deadline time.Duration) *PSJob {
+// UseDeadline is Use with an absolute virtual-time deadline: if the work
+// has not completed by deadline the job is cancelled and the caller
+// resumes immediately with cancelled true and the units left unserved. A
+// deadline of zero (or in the past at submission) disables the watchdog.
+// Zero or negative demand returns immediately with (false, 0).
+func (r *PSResource) UseDeadline(p *Proc, principal string, demand float64, deadline time.Duration) (cancelled bool, remaining float64) {
 	if demand <= 0 {
-		return nil
+		return false, 0
 	}
-	j := &PSJob{Principal: principal, remaining: demand, owner: p}
+	j := r.newJob(principal, demand, p, nil)
 	r.add(j)
-	var watchdog *Event
+	var watchdog Event
 	if deadline > r.k.Now() {
-		watchdog = r.k.At(deadline, func() { r.CancelJob(j) })
+		watchdog = r.k.At(deadline, j.cancelSelf)
 	}
 	p.park()
-	if watchdog != nil {
-		watchdog.Cancel()
-	}
-	return j
+	// Disarm before recycling: the watchdog must never fire against a
+	// recycled job (the pool's ABA hazard). Cancel is a generation-checked
+	// no-op when the watchdog itself woke us.
+	watchdog.Cancel()
+	cancelled, remaining = j.cancelled, j.remaining
+	r.recycleJob(j)
+	return cancelled, remaining
 }
 
-// CancelJob removes a job from service before completion, crediting the work
-// already done and waking the owning process (which observes Cancelled). It
-// must be called from kernel context (an event callback) and reports whether
-// the job was still in service.
-func (r *PSResource) CancelJob(j *PSJob) bool {
+// cancelJob removes a job from service before completion, crediting the
+// work already done and waking the owning process (which observes
+// Cancelled). It must be called from kernel context (an event callback)
+// and reports whether the job was still in service.
+func (r *PSResource) cancelJob(j *PSJob) bool {
 	if j == nil || j.cancelled {
 		return false
 	}
@@ -257,23 +313,24 @@ func (r *PSResource) CancelJob(j *PSJob) bool {
 	// onDone is a completion callback; a cancelled job never completes.
 	if j.owner != nil {
 		r.k.transfer(j.owner)
+	} else {
+		r.recycleJob(j)
 	}
 	return true
 }
 
 // UseAsync enqueues demand units of work for principal without blocking any
 // process. onDone, if non-nil, runs in kernel context when the work
-// completes. It returns the job so callers can inspect progress.
-func (r *PSResource) UseAsync(principal string, demand float64, onDone func()) *PSJob {
+// completes. The job is pooled and recycled as soon as it finishes, so no
+// handle is returned; completion is observable only through onDone.
+func (r *PSResource) UseAsync(principal string, demand float64, onDone func()) {
 	if demand <= 0 {
 		if onDone != nil {
-			r.k.After(0, onDone)
+			r.k.runNext(nil, onDone)
 		}
-		return nil
+		return
 	}
-	j := &PSJob{Principal: principal, remaining: demand, onDone: onDone}
-	r.add(j)
-	return j
+	r.add(r.newJob(principal, demand, nil, onDone))
 }
 
 // EstimateLatency reports how long demand units would take to complete if

@@ -191,7 +191,7 @@ type Cell struct {
 
 	restarts  int
 	backoff   time.Duration
-	restartEv *sim.Event
+	restartEv sim.Event
 
 	lieRun     int
 	lastEnergy float64
@@ -228,7 +228,7 @@ type Supervisor struct {
 	byReg  map[*core.Registration]*Cell
 	byName map[string]*Cell
 
-	auditEv *sim.Event
+	auditEv sim.Event
 	running bool
 
 	missedAcks  int
@@ -283,15 +283,11 @@ func (s *Supervisor) Start() {
 // Stop halts the audit and any pending restarts.
 func (s *Supervisor) Stop() {
 	s.running = false
-	if s.auditEv != nil {
-		s.auditEv.Cancel()
-		s.auditEv = nil
-	}
+	s.auditEv.Cancel()
+	s.auditEv = sim.Event{}
 	for _, c := range s.cells {
-		if c.restartEv != nil {
-			c.restartEv.Cancel()
-			c.restartEv = nil
-		}
+		c.restartEv.Cancel()
+		c.restartEv = sim.Event{}
 	}
 }
 
@@ -426,7 +422,7 @@ func (s *Supervisor) scheduleRestart(c *Cell, cause string) {
 // level re-applied, restart work charged to the supervise principal, and
 // the registration returned to adaptation.
 func (s *Supervisor) restart(c *Cell) {
-	c.restartEv = nil
+	c.restartEv = sim.Event{}
 	c.restarts++
 	s.restarts++
 	s.charge(s.cfg.RestartCPU)
@@ -448,10 +444,8 @@ func (s *Supervisor) restart(c *Cell) {
 // survivors.
 func (s *Supervisor) quarantine(c *Cell, cause string) {
 	c.state = cellQuarantined
-	if c.restartEv != nil {
-		c.restartEv.Cancel()
-		c.restartEv = nil
-	}
+	c.restartEv.Cancel()
+	c.restartEv = sim.Event{}
 	c.reg.SetExcluded(true)
 	c.health.SetCrashed(true)
 	s.quarantined = append(s.quarantined, c.name())
