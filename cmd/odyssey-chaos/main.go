@@ -8,16 +8,26 @@
 //
 //	odyssey-chaos -soak 200 -seed 1 -shrink          # soak 200 scenarios
 //	odyssey-chaos -soak 30s -seed 1                  # soak for a wall-clock budget
+//	odyssey-chaos -soak 200 -journal run.jsonl       # journal outcomes as they complete
+//	odyssey-chaos -soak 200 -journal run.jsonl -resume  # skip journaled work
+//	odyssey-chaos -soak-corpus testdata/containment  # soak a fixed corpus
 //	odyssey-chaos -scenario failing.json             # replay one scenario
 //	odyssey-chaos -corpus internal/chaos/testdata/corpus  # replay the corpus
+//
+// SIGINT is trapped: in-flight scenarios finish, their outcomes are
+// journaled, a partial report prints, and the process exits 130 with the
+// resume command on stderr. A second SIGINT kills immediately.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"odyssey/internal/chaos"
@@ -26,31 +36,103 @@ import (
 
 func main() {
 	var (
-		soak     = flag.String("soak", "", "soak budget: a scenario count (e.g. 200) or a wall-clock duration (e.g. 30s)")
-		seed     = flag.Int64("seed", 1, "base seed; scenario i uses seed+i")
-		shrink   = flag.Bool("shrink", true, "minimize failing scenarios before reporting")
-		budget   = flag.Int("shrink-budget", 200, "max candidate runs per shrink")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the soak")
-		outDir   = flag.String("out", "chaos-failures", "directory for failing-scenario files")
-		scenario = flag.String("scenario", "", "replay one scenario file through the sentinel suite")
-		corpus   = flag.String("corpus", "", "replay every scenario in a corpus directory")
-		verbose  = flag.Bool("v", false, "per-scenario progress output")
+		soak       = flag.String("soak", "", "soak budget: a scenario count (e.g. 200) or a wall-clock duration (e.g. 30s)")
+		soakCorpus = flag.String("soak-corpus", "", "soak every scenario in a corpus directory (instead of generating)")
+		seed       = flag.Int64("seed", 1, "base seed; scenario i uses seed+i")
+		shrink     = flag.Bool("shrink", true, "minimize failing scenarios before reporting")
+		budget     = flag.Int("shrink-budget", 200, "max candidate runs per shrink")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the soak")
+		outDir     = flag.String("out", "chaos-failures", "directory for failing-scenario files")
+		journal    = flag.String("journal", "", "append-only outcome journal (JSON lines, fsync'd per scenario)")
+		resume     = flag.Bool("resume", false, "replay the journal first, skipping completed scenarios")
+		deadline   = flag.Duration("deadline", 0, "wall-clock deadline per scenario (0 = none); backstops true hangs")
+		report     = flag.String("report", "", "also write the deterministic soak report to this file")
+		scenario   = flag.String("scenario", "", "replay one scenario file through the sentinel suite")
+		corpus     = flag.String("corpus", "", "replay every scenario in a corpus directory")
+		verbose    = flag.Bool("v", false, "per-scenario progress output")
 	)
 	flag.Parse()
 
 	experiment.SetParallelism(*parallel)
 
+	soakOpts := chaos.SoakOptions{
+		Shrink:       *shrink,
+		ShrinkBudget: *budget,
+		Dir:          *outDir,
+		Journal:      *journal,
+		Resume:       *resume,
+		Deadline:     *deadline,
+	}
 	switch {
 	case *scenario != "":
 		os.Exit(replayFile(*scenario))
 	case *corpus != "":
 		os.Exit(replayCorpus(*corpus, *verbose))
+	case *soakCorpus != "":
+		os.Exit(runCorpusSoak(*soakCorpus, soakOpts, *report))
 	case *soak != "":
-		os.Exit(runSoak(*soak, *seed, *shrink, *budget, *outDir))
+		os.Exit(runSoak(*soak, *seed, soakOpts, *report))
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// trapInterrupt installs the SIGINT handler and returns the soak's Stop
+// poll. The first interrupt requests a graceful stop (unstarted scenarios
+// are skipped; in-flight ones finish and journal); the handler then
+// detaches, so a second interrupt kills the process outright.
+func trapInterrupt() func() bool {
+	var stopped atomic.Bool
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	go func() {
+		<-ch
+		stopped.Store(true)
+		fmt.Fprintln(os.Stderr, "interrupt: finishing in-flight scenarios and flushing the journal (^C again to kill)")
+		signal.Stop(ch)
+	}()
+	return stopped.Load
+}
+
+// resumeCommand reconstructs the invocation that continues an interrupted
+// soak: the same command line plus -resume.
+func resumeCommand() string {
+	args := os.Args
+	for _, a := range args {
+		if a == "-resume" || a == "--resume" {
+			return strings.Join(args, " ")
+		}
+	}
+	return strings.Join(args, " ") + " -resume"
+}
+
+// finishSoak renders the report, handles the interrupted case, and maps the
+// summary to an exit code.
+func finishSoak(sum *chaos.SoakSummary, reportPath string, wall time.Duration) int {
+	sum.WriteReport(os.Stdout)
+	if reportPath != "" {
+		f, err := os.Create(reportPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		sum.WriteReport(f)
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	fmt.Fprintf(os.Stderr, "soak: %d ran, %d replayed, %d failure(s) in %v\n",
+		sum.Ran, sum.Replayed, len(sum.Failures), wall.Round(time.Millisecond))
+	if sum.Interrupted {
+		fmt.Fprintf(os.Stderr, "interrupted: %d scenario(s) not run; resume with:\n  %s\n", sum.NotRun, resumeCommand())
+		return 130
+	}
+	if !sum.OK() {
+		return 1
+	}
+	return 0
 }
 
 // replayFile runs one saved scenario and reports its sentinel audit.
@@ -74,12 +156,17 @@ func replayFile(path string) int {
 }
 
 // replayCorpus runs every corpus scenario, expecting all sentinels to pass
-// — the regression gate over previously-failing scenarios.
+// — the regression gate over previously-failing scenarios. Files that are
+// not loadable scenarios are reported and skipped, not fatal: the corpus
+// dir accumulates quarantined crashers and strays.
 func replayCorpus(dir string, verbose bool) int {
-	scs, paths, err := chaos.LoadCorpus(dir)
+	scs, paths, warnings, err := chaos.LoadCorpus(dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
+	}
+	for _, w := range warnings {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
 	}
 	if len(scs) == 0 {
 		fmt.Printf("corpus %s: no scenarios\n", dir)
@@ -106,44 +193,82 @@ func replayCorpus(dir string, verbose bool) int {
 	return 0
 }
 
-// runSoak executes soaks in batches until the count or wall-clock budget is
-// exhausted.
-func runSoak(budgetArg string, seed int64, shrink bool, shrinkBudget int, outDir string) int {
+// runCorpusSoak soaks a fixed corpus through the full failure pipeline
+// (sentinels, shrinking, quarantine, journal) — unlike -corpus, failures
+// are expected and triaged, not merely reported.
+func runCorpusSoak(dir string, opts chaos.SoakOptions, reportPath string) int {
+	scs, _, warnings, err := chaos.LoadCorpus(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, w := range warnings {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+	}
+	if len(scs) == 0 {
+		fmt.Printf("corpus %s: no scenarios\n", dir)
+		return 0
+	}
+	opts.Scenarios = scs
+	opts.Progress = os.Stderr
+	opts.Stop = trapInterrupt()
+	start := time.Now()
+	sum, err := chaos.Soak(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	return finishSoak(sum, reportPath, time.Since(start))
+}
+
+// runSoak executes a generated soak: count budgets run as one resumable
+// soak, wall-clock budgets run in batches until time is up.
+func runSoak(budgetArg string, seed int64, opts chaos.SoakOptions, reportPath string) int {
 	count, wall, err := parseSoakBudget(budgetArg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
 	start := time.Now()
+	if count > 0 {
+		opts.Seed = seed
+		opts.Count = count
+		opts.Progress = os.Stderr
+		opts.Stop = trapInterrupt()
+		sum, err := chaos.Soak(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		return finishSoak(sum, reportPath, time.Since(start))
+	}
+
+	// Wall-clock budget: batches re-derive their seeds from the running
+	// total, so scenario indices restart every batch — incompatible with
+	// the journal's index-addressed entries.
+	if opts.Journal != "" || opts.Resume {
+		fmt.Fprintln(os.Stderr, "odyssey-chaos: -journal/-resume need a scenario-count or corpus soak, not a wall-clock budget")
+		return 2
+	}
+	stop := trapInterrupt()
 	ran, failures := 0, 0
 	const batch = 50
-	for {
-		n := batch
-		if count > 0 {
-			if remaining := count - ran; remaining < n {
-				n = remaining
-			}
-			if n <= 0 {
-				break
-			}
-		}
-		if wall > 0 && time.Since(start) >= wall {
-			break
-		}
-		sum, err := chaos.Soak(chaos.SoakOptions{
-			Seed:         seed + int64(ran),
-			Count:        n,
-			Shrink:       shrink,
-			ShrinkBudget: shrinkBudget,
-			Dir:          outDir,
-			Progress:     os.Stdout,
-		})
+	for !stop() && time.Since(start) < wall {
+		batchOpts := opts
+		batchOpts.Seed = seed + int64(ran)
+		batchOpts.Count = batch
+		batchOpts.Progress = os.Stdout
+		batchOpts.Stop = stop
+		sum, err := chaos.Soak(batchOpts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
 		ran += sum.Ran
 		failures += len(sum.Failures)
+		if sum.Interrupted {
+			break
+		}
 	}
 	fmt.Printf("soak: %d scenario(s) in %v, %d failure(s)\n", ran, time.Since(start).Round(time.Millisecond), failures)
 	if failures > 0 {

@@ -10,16 +10,27 @@
 //
 //	odyssey-fleet -devices 10000 -seed 1                 # fleet soak
 //	odyssey-fleet -devices 1000000 -progress             # million-device soak
+//	odyssey-fleet -devices 10000 -journal run.jsonl      # journal shards as they finish
+//	odyssey-fleet -devices 10000 -journal run.jsonl -resume  # skip journaled shards
 //	odyssey-fleet -devices 500 -parallel 1 > a.txt       # determinism probe:
 //	odyssey-fleet -devices 500 -parallel 4 > b.txt       #   a.txt == b.txt
 //	odyssey-fleet -population                            # print the population model
+//
+// SIGINT is trapped: in-flight shards finish and journal, a partial
+// scorecard prints, and the process exits 130 with the resume command on
+// stderr. A second SIGINT kills immediately. A resumed run merges the
+// journaled shards with the freshly-run ones into a scorecard
+// byte-identical to an uninterrupted run's.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"odyssey/internal/experiment"
@@ -34,6 +45,8 @@ func main() {
 		shards    = flag.Int("shards", fleet.DefaultShards, "reduction shards (part of the replay geometry)")
 		horizon   = flag.Duration("horizon", 0, "churn window for session start stagger (0 = population default)")
 		progress  = flag.Bool("progress", false, "per-shard progress on stderr")
+		journal   = flag.String("journal", "", "crash-safe shard journal (geometry header + one fsync'd JSON line per shard)")
+		resume    = flag.Bool("resume", false, "merge journaled shards instead of re-running them")
 		dashboard = flag.Bool("dashboard", true, "include percentile dashboards in the scorecard")
 		popOnly   = flag.Bool("population", false, "print the population model and exit")
 	)
@@ -58,6 +71,9 @@ func main() {
 		Seed:       *seed,
 		Devices:    *devices,
 		Shards:     *shards,
+		Journal:    *journal,
+		Resume:     *resume,
+		Stop:       trapInterrupt(),
 	}
 	if *progress {
 		opts.Progress = os.Stderr
@@ -74,8 +90,46 @@ func main() {
 	// stay byte-identical across runs and worker counts.
 	fmt.Fprintf(os.Stderr, "ran %d sessions in %v (%.0f sessions/s, parallel=%d)\n",
 		*devices, wall.Round(time.Millisecond), float64(*devices)/wall.Seconds(), experiment.Parallelism())
+	if res.ReplayedShards > 0 {
+		fmt.Fprintf(os.Stderr, "resume: %d shard(s) replayed from the journal, %d ran\n",
+			res.ReplayedShards, res.RanShards)
+	}
 
 	res.Scorecard(os.Stdout, *dashboard)
+	if res.Interrupted {
+		fmt.Fprintf(os.Stderr, "interrupted: %d shard(s) not run; resume with:\n  %s\n",
+			res.SkippedShards, resumeCommand())
+		os.Exit(130)
+	}
+}
+
+// trapInterrupt installs the SIGINT handler and returns the run's Stop
+// poll. The first interrupt requests a graceful stop (unstarted shards are
+// skipped; in-flight ones finish and journal); the handler then detaches,
+// so a second interrupt kills the process outright.
+func trapInterrupt() func() bool {
+	var stopped atomic.Bool
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	go func() {
+		<-ch
+		stopped.Store(true)
+		fmt.Fprintln(os.Stderr, "interrupt: finishing in-flight shards and flushing the journal (^C again to kill)")
+		signal.Stop(ch)
+	}()
+	return stopped.Load
+}
+
+// resumeCommand reconstructs the invocation that continues an interrupted
+// run: the same command line plus -resume.
+func resumeCommand() string {
+	args := os.Args
+	for _, a := range args {
+		if a == "-resume" || a == "--resume" {
+			return strings.Join(args, " ")
+		}
+	}
+	return strings.Join(args, " ") + " -resume"
 }
 
 // printPopulation dumps the population model: the class and behavior mixes

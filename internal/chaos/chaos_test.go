@@ -107,9 +107,12 @@ func TestSoakFixedSeed(t *testing.T) {
 // A corpus entry is a scenario that once found a bug; after the fix it must
 // stay green forever.
 func TestCorpusReplay(t *testing.T) {
-	scs, paths, err := LoadCorpus("testdata/corpus")
+	scs, paths, warnings, err := LoadCorpus("testdata/corpus")
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("regression corpus has unloadable entries: %v", warnings)
 	}
 	if len(scs) == 0 {
 		t.Fatal("empty regression corpus; expected checked-in scenarios")

@@ -11,6 +11,7 @@ import (
 	"odyssey/internal/experiment"
 	"odyssey/internal/faults"
 	"odyssey/internal/netsim"
+	"odyssey/internal/sim"
 	"odyssey/internal/smartbattery"
 	"odyssey/internal/supervise"
 	"odyssey/internal/workload"
@@ -89,11 +90,56 @@ func (t *rigTargets) App(name string) (core.Adaptive, *supervise.AppHealth, bool
 	return app, health, true
 }
 
+// contained describes a fault the containment fence recovered during one
+// run: which sentinel it maps to (panic or stall) and the triage detail.
+type contained struct {
+	sentinel string
+	detail   string
+}
+
+// mutateOptions, when non-nil, rewrites the GoalOptions runOnce builds
+// before the run starts. It exists solely for containment self-tests that
+// plant panics in the observation path. Never set outside tests.
+var mutateOptions func(*experiment.GoalOptions)
+
+// sentinelHook, when non-nil, runs at the head of the sentinel audit. It
+// exists solely for containment self-tests that plant a panic inside the
+// audit itself. Never set outside tests.
+var sentinelHook func(sc Scenario)
+
+// runGoalContained is the panic fence around one simulated session. Any
+// panic unwinding RunGoal — a process fault transported by the kernel
+// (sim.ProcPanic), a kernel-context panic from an injector or callback, or
+// the stall detector's sim.ErrStall — is recovered here and handed back as
+// a contained fault for the sentinel report, instead of killing the whole
+// soak. The rig's goroutines are already torn down when the fence fires:
+// RunGoal defers Kernel.Shutdown.
+func runGoalContained(opt experiment.GoalOptions) (res experiment.GoalResult, cv *contained) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		switch f := r.(type) {
+		case *sim.ErrStall:
+			cv = &contained{sentinel: SentinelStall, detail: f.Error()}
+		case *sim.ProcPanic:
+			cv = &contained{sentinel: SentinelPanic, detail: fmt.Sprintf("%v\n%s", f.Error(), f.Stack)}
+		default:
+			// Kernel-context panic: the stack below this recover still
+			// holds the crash site's frames, so capture it here.
+			cv = &contained{sentinel: SentinelPanic, detail: fmt.Sprintf("kernel-context panic: %v\n%s", r, sim.CallerStack(1))}
+		}
+	}()
+	return experiment.RunGoal(opt), nil
+}
+
 // runOnce executes the scenario once and captures everything the sentinels
 // need: the goal result, the ledger snapshot, and a determinism
 // fingerprint. A plan that fails to materialize (unknown target, missing
-// battery) is a scenario error, not a sentinel violation.
-func runOnce(sc Scenario) (experiment.GoalResult, Ledger, string, error) {
+// battery) is a scenario error, not a sentinel violation; a panic or stall
+// is returned as a contained fault.
+func runOnce(sc Scenario) (experiment.GoalResult, Ledger, string, *contained, error) {
 	var led Ledger
 	var buildErr error
 	opt := experiment.GoalOptions{
@@ -105,6 +151,7 @@ func runOnce(sc Scenario) (experiment.GoalResult, Ledger, string, error) {
 		Peukert:       sc.Peukert,
 		Supervise:     sc.Supervise,
 		Apps:          sc.AppsOrAll(),
+		StallBound:    sc.StallBound,
 		RecordEvents:  true,
 		Observe: func(rig *env.Rig, em *core.EnergyMonitor) {
 			led.Total = rig.M.Acct.TotalEnergy()
@@ -139,11 +186,17 @@ func runOnce(sc Scenario) (experiment.GoalResult, Ledger, string, error) {
 			return pl
 		}
 	}
-	res := experiment.RunGoal(opt)
-	if buildErr != nil {
-		return res, led, "", fmt.Errorf("chaos: scenario %s: %w", sc.ID(), buildErr)
+	if mutateOptions != nil {
+		mutateOptions(&opt)
 	}
-	return res, led, fingerprint(res), nil
+	res, cv := runGoalContained(opt)
+	if buildErr != nil {
+		return res, led, "", nil, fmt.Errorf("chaos: scenario %s: %w", sc.ID(), buildErr)
+	}
+	if cv != nil {
+		return res, led, "", cv, nil
+	}
+	return res, led, fingerprint(res), nil, nil
 }
 
 // fingerprint renders everything observable about a run into one string:
@@ -196,22 +249,58 @@ func firstDiff(a, b string) string {
 	return fmt.Sprintf("length mismatch: %d vs %d bytes", len(a), len(b))
 }
 
+// auditContained is the panic fence around the sentinel audit itself: a
+// crashing sentinel becomes a panic violation in the report it was
+// producing, so a bug in the audit code is triaged like any other crash
+// instead of taking the soak down.
+func auditContained(sc Scenario, res experiment.GoalResult, led Ledger) (rep Report) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep = Report{ScenarioID: sc.ID()}
+			rep.add(SentinelPanic, fmt.Sprintf("panic in sentinel audit: %v\n%s", r, sim.CallerStack(1)))
+		}
+	}()
+	if sentinelHook != nil {
+		sentinelHook(sc)
+	}
+	return audit(sc, res, led)
+}
+
 // Run executes the scenario twice — once for the sentinel audit, once more
 // to check same-seed determinism — and returns the full outcome. The error
 // return is reserved for scenarios that cannot run at all (a spec naming an
-// absent target); invariant violations are in the Report.
+// absent target); invariant violations, including contained panics and
+// stalls, are in the Report.
 func Run(sc Scenario) (*Outcome, error) {
 	sc = sc.normalize()
-	res, led, fp1, err := runOnce(sc)
+	res, led, fp1, cv, err := runOnce(sc)
 	if err != nil {
 		return nil, err
 	}
 	out := &Outcome{Scenario: sc, Result: res, Ledger: led}
-	out.Report = audit(sc, res, led)
+	if cv != nil {
+		// The run died mid-flight: its result and ledger are partial, so
+		// neither the post-run audit nor the determinism double-run apply.
+		// The contained fault is the report.
+		out.Report = Report{ScenarioID: sc.ID()}
+		out.Report.add(cv.sentinel, cv.detail)
+		return out, nil
+	}
+	out.Report = auditContained(sc, res, led)
+	if out.Report.Has(SentinelPanic) {
+		// The audit itself crashed; a second run would audit nothing new.
+		return out, nil
+	}
 
-	_, _, fp2, err := runOnce(sc)
+	_, _, fp2, cv2, err := runOnce(sc)
 	if err != nil {
 		return nil, err
+	}
+	if cv2 != nil {
+		// First run clean, second crashed: that is itself a determinism
+		// violation, with the crash as the diverging observation.
+		out.Report.add(SentinelDeterminism, "second run did not complete: "+cv2.detail)
+		return out, nil
 	}
 	if fp1 != fp2 {
 		out.Report.add(SentinelDeterminism, firstDiff(fp1, fp2))

@@ -11,6 +11,7 @@
 package chaos
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -51,6 +52,11 @@ type Scenario struct {
 	// carries the application-misbehavior injections.
 	Faults    *faults.PlanSpec `json:"faults,omitempty"`
 	Misbehave *faults.PlanSpec `json:"misbehave,omitempty"`
+	// StallBound overrides the kernel's virtual-time stall bound for this
+	// scenario (0 = kernel default). Planted-livelock repros carry a small
+	// bound so replaying and shrinking them is fast; the generator never
+	// sets it. Omitted when zero, so pre-existing corpus ids are unchanged.
+	StallBound int `json:"stall_bound,omitempty"`
 }
 
 // ID returns the scenario's content address: the first 16 hex digits of the
@@ -163,13 +169,21 @@ func LoadScenario(path string) (Scenario, error) {
 
 // LoadCorpus reads every *.json scenario under dir, sorted by filename so
 // replay order is stable. A missing directory is an empty corpus.
-func LoadCorpus(dir string) ([]Scenario, []string, error) {
+//
+// The corpus dir grows organically — quarantined crashers land here
+// alongside hand-written repros, and stray files (editor backups, journals,
+// half-written notes) inevitably appear — so a file that is unreadable, is
+// not valid JSON, carries fields no Scenario has, or decodes to a scenario
+// that cannot possibly run (no goal or no supply) is skipped with a
+// reported warning instead of failing the whole load. The error return is
+// reserved for the directory itself being unreadable.
+func LoadCorpus(dir string) (scs []Scenario, paths, warnings []string, err error) {
 	entries, err := os.ReadDir(dir)
 	if os.IsNotExist(err) {
-		return nil, nil, nil
+		return nil, nil, nil, nil
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var names []string
 	for _, e := range entries {
@@ -178,18 +192,37 @@ func LoadCorpus(dir string) ([]Scenario, []string, error) {
 		}
 	}
 	sort.Strings(names)
-	var scs []Scenario
-	var paths []string
 	for _, n := range names {
 		p := filepath.Join(dir, n)
-		sc, err := LoadScenario(p)
+		sc, err := loadScenarioStrict(p)
 		if err != nil {
-			return nil, nil, err
+			warnings = append(warnings, fmt.Sprintf("skipping %s: %v", p, err))
+			continue
 		}
 		scs = append(scs, sc)
 		paths = append(paths, p)
 	}
-	return scs, paths, nil
+	return scs, paths, warnings, nil
+}
+
+// loadScenarioStrict decodes one corpus file, rejecting JSON that is not a
+// scenario: unknown fields (some other tool's output saved as .json) and
+// decoded values that cannot run at all (zero goal or supply).
+func loadScenarioStrict(path string) (Scenario, error) {
+	var sc Scenario
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return sc, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return sc, fmt.Errorf("not a scenario: %w", err)
+	}
+	if sc.Goal <= 0 || sc.InitialEnergy <= 0 {
+		return sc, fmt.Errorf("not a runnable scenario: goal=%v energy=%v", time.Duration(sc.Goal), sc.InitialEnergy)
+	}
+	return sc, nil
 }
 
 // ReproCommand returns the one-line command that replays a saved scenario

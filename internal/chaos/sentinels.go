@@ -27,12 +27,22 @@ const (
 	SentinelTrace       = "trace-wellformed"
 	SentinelResidual    = "goal-residual"
 	SentinelDeterminism = "determinism"
+	// SentinelPanic reports a panic recovered by the containment fence —
+	// from a simulated process, an event callback, an injector, or the
+	// sentinel audit itself — carrying the panic value and a deterministic
+	// stack of the crash site.
+	SentinelPanic = "panic"
+	// SentinelStall reports a virtual-time stall: the kernel's livelock
+	// detector tripped (sim.ErrStall), or the wall-clock per-scenario
+	// deadline backstop abandoned a truly hung worker.
+	SentinelStall = "stall"
 )
 
 // Sentinels lists every sentinel name in audit order.
 var Sentinels = []string{
 	SentinelEnergy, SentinelBudget, SentinelClock,
 	SentinelTrace, SentinelResidual, SentinelDeterminism,
+	SentinelPanic, SentinelStall,
 }
 
 // Violation is one sentinel trip.

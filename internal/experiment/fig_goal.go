@@ -101,6 +101,11 @@ type GoalOptions struct {
 	// the continuous workload (0 = the paper's 25 s) — the fleet plane's
 	// workload-intensity knob. Ignored by the bursty workload.
 	CompositePeriod time.Duration
+	// StallBound overrides the kernel's virtual-time stall bound for this
+	// run (0 = the kernel default, <0 disables detection). The chaos
+	// plane's planted-livelock repros use small bounds so shrinking a
+	// stalling scenario stays fast.
+	StallBound int
 }
 
 // GoalResult is the outcome of one goal-directed run.
@@ -192,6 +197,21 @@ func RunGoal(opt GoalOptions) GoalResult {
 		rig = env.NewRig(opt.Seed, 1)
 	}
 	rig.EnablePowerMgmt()
+	if opt.StallBound != 0 {
+		bound := opt.StallBound
+		if bound < 0 {
+			bound = 0
+		}
+		rig.K.SetStallBound(bound)
+	}
+	// Tear the rig down even when the run panics (a contained process fault
+	// or a stall unwinding Kernel.Run): parked process goroutines would
+	// otherwise outlive the session and pin it, growing memory with trial
+	// count — fatal for fleet soaks that run millions of sessions through
+	// this path, and for chaos shrinking, which replays a crashing scenario
+	// hundreds of times. Run's own deferred reset of the running flag fires
+	// first during unwind, so Shutdown always sees a stopped kernel.
+	defer rig.K.Shutdown()
 	apps := workload.NewApps(rig)
 	if opt.Apps != nil {
 		if err := apps.Enable(opt.Apps...); err != nil {
@@ -381,10 +401,6 @@ func RunGoal(opt GoalOptions) GoalResult {
 	if opt.Observe != nil {
 		opt.Observe(rig, em)
 	}
-	// Tear the rig down: parked process goroutines would otherwise outlive
-	// the session and pin it, growing memory with trial count — fatal for
-	// fleet soaks that run millions of sessions through this path.
-	rig.K.Shutdown()
 	return res
 }
 

@@ -72,41 +72,86 @@ func progressf(format string, args ...any) {
 	_, _ = fmt.Fprintf(sched.progress, format+"\n", args...)
 }
 
+// TaskPanic wraps a panic recovered from a task function run by RunTasks,
+// identifying which task index died and where. The pool re-raises it on the
+// caller's goroutine after every task has run, so one crashing task neither
+// kills a worker goroutine (which would strand the pool's WaitGroup) nor
+// silently drops the remaining tasks' results.
+type TaskPanic struct {
+	Index int
+	Value any
+	Stack string
+}
+
+func (e *TaskPanic) Error() string {
+	return fmt.Sprintf("experiment: task %d panicked: %v", e.Index, e.Value)
+}
+
 // RunTasks executes fn(0..n-1) on the configured worker pool (see
 // SetParallelism). Callers index their result slots by i, so completion
 // order never affects output. The chaos soak drives its scenario batches
 // through this pool.
+//
+// A panic in fn is fenced: the remaining tasks still run, and the fault for
+// the lowest panicking index is re-raised as a *TaskPanic from RunTasks
+// itself — deterministic regardless of worker interleaving. Callers that
+// want finer containment (the chaos soak quarantines per scenario) fence
+// inside fn; this pool-level fence is the backstop that keeps one crash
+// from stranding the pool.
 func RunTasks(n int, fn func(i int)) { runTasks(n, fn) }
 
 // runTasks executes fn(0..n-1) on the configured worker pool. Callers index
 // their result slots by i, so completion order never affects output.
 func runTasks(n int, fn func(i int)) {
+	var (
+		faultMu sync.Mutex
+		fault   *TaskPanic
+	)
+	run := func(i int) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			st := sim.CallerStack(1)
+			faultMu.Lock()
+			if fault == nil || i < fault.Index {
+				fault = &TaskPanic{Index: i, Value: r, Stack: st}
+			}
+			faultMu.Unlock()
+		}()
+		fn(i)
+	}
 	workers := Parallelism()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			run(i)
 		}
-		return
-	}
-	var next int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= n {
-					return
+	} else {
+		var next int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= n {
+						return
+					}
+					run(i)
 				}
-				fn(i)
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	if fault != nil {
+		//odylint:allow panicfree fault transport: re-raising the lowest task's wrapped panic on the caller's goroutine
+		panic(fault)
+	}
 }
 
 // trialResult is one trial's raw measurement, kept unaggregated so that the

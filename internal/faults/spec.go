@@ -123,6 +123,12 @@ func (s InjectorSpec) Build(tg Targets) (Injector, error) {
 			return nil, fmt.Errorf("faults: %s: scenario has no SmartBattery", s.Kind)
 		}
 		return &BatteryDropout{Bat: bat, MeanUp: s.MeanUp.D(), MeanDown: s.MeanDown.D()}, nil
+	case KindTestPanic:
+		return &TestPanic{Delay: s.MeanUp.D()}, nil
+	case KindTestProcPanic:
+		return &TestProcPanic{Delay: s.MeanUp.D()}, nil
+	case KindTestLivelock:
+		return &TestLivelock{Delay: s.MeanUp.D()}, nil
 	case KindAppCrash, KindAppHang, KindAppThrash, KindAppLie:
 		app, health, ok := tg.App(s.Target)
 		if !ok {

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"odyssey/internal/chaos"
 )
 
 // Agg is a streaming count/sum/min/max accumulator. Merge adds sums and
@@ -88,6 +90,15 @@ type Aggregate struct {
 	Adaptations int64
 	FaultEvents int64
 
+	// ContainedPanics/ContainedStalls count sessions the runner's
+	// containment fence recovered: a panic transported out of the rig, or
+	// the kernel's virtual-time stall detector. Contained sessions count
+	// toward Sessions (they are goal misses) but their outcome-derived
+	// metrics are partial garbage and are NOT folded into the sketches or
+	// energy ledgers below.
+	ContainedPanics int64
+	ContainedStalls int64
+
 	Residual   *Sketch // residual energy at session end (J)
 	SessionMin *Sketch // session goal length (minutes)
 	StartMin   *Sketch // session start offset within the churn window (minutes)
@@ -141,6 +152,8 @@ func (a *Aggregate) Merge(o *Aggregate) {
 	a.Restarts += o.Restarts
 	a.Adaptations += o.Adaptations
 	a.FaultEvents += o.FaultEvents
+	a.ContainedPanics += o.ContainedPanics
+	a.ContainedStalls += o.ContainedStalls
 	a.Residual.Merge(o.Residual)
 	a.SessionMin.Merge(o.SessionMin)
 	a.StartMin.Merge(o.StartMin)
@@ -173,9 +186,24 @@ func (a *Aggregate) Merge(o *Aggregate) {
 	}
 }
 
-// observe folds one finished session into the reduction.
+// observe folds one finished session into the reduction. A contained
+// session (panic or stall recovered by the runner's fence) counts toward
+// Sessions and its contained counter; everything else about it is a
+// partial measurement of a run that died mid-flight, so only the
+// session-spec sketches (goal length, start stagger) are folded.
 func (a *Aggregate) observe(sess Session, out sessionOutcome) {
 	a.Sessions++
+	a.SessionMin.Observe(sess.Goal.Minutes())
+	a.StartMin.Observe(sess.Start.Minutes())
+	switch out.Contained {
+	case "":
+	case chaos.SentinelStall:
+		a.ContainedStalls++
+		return
+	default:
+		a.ContainedPanics++
+		return
+	}
 	if out.Met {
 		a.GoalMet++
 	}
@@ -184,8 +212,6 @@ func (a *Aggregate) observe(sess Session, out sessionOutcome) {
 	a.Adaptations += int64(out.Adaptations)
 	a.FaultEvents += int64(out.FaultEvents)
 	a.Residual.Observe(out.Residual)
-	a.SessionMin.Observe(sess.Goal.Minutes())
-	a.StartMin.Observe(sess.Start.Minutes())
 	a.Energy.Observe(out.Drained)
 	a.RetryJ.Observe(out.RetryJ)
 
@@ -240,8 +266,9 @@ func (a *Aggregate) QuarantineRate() float64 {
 // their fingerprints match; the determinism gates compare these.
 func (a *Aggregate) Fingerprint() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "sessions=%d met=%d quar=%d restarts=%d adapt=%d faults=%d\n",
-		a.Sessions, a.GoalMet, a.Quarantines, a.Restarts, a.Adaptations, a.FaultEvents)
+	fmt.Fprintf(&b, "sessions=%d met=%d quar=%d restarts=%d adapt=%d faults=%d cpanic=%d cstall=%d\n",
+		a.Sessions, a.GoalMet, a.Quarantines, a.Restarts, a.Adaptations, a.FaultEvents,
+		a.ContainedPanics, a.ContainedStalls)
 	for _, s := range []struct {
 		name string
 		sk   *Sketch
@@ -291,4 +318,9 @@ type sessionOutcome struct {
 	Elapsed     time.Duration
 	Principals  []string
 	PrincipalJ  []float64
+	// Contained is the sentinel name (chaos.SentinelPanic or
+	// chaos.SentinelStall) when the runner's fence recovered the session,
+	// with Detail the triage text; empty for sessions that completed.
+	Contained string
+	Detail    string
 }

@@ -10,6 +10,7 @@ import (
 	"odyssey/internal/core"
 	"odyssey/internal/experiment"
 	"odyssey/internal/faults"
+	"odyssey/internal/sim"
 	"odyssey/internal/smartbattery"
 	"odyssey/internal/workload"
 )
@@ -38,6 +39,21 @@ type RunOptions struct {
 	// observability only — never part of the scorecard — so it may carry
 	// wall-clock rates. Writes are serialized by the caller's writer.
 	Progress io.Writer
+
+	// Journal, when non-empty, is the crash-safe shard journal: a header
+	// line pinning the run geometry plus one fsync'd JSON line per
+	// completed shard aggregate (see journal.go).
+	Journal string
+	// Resume replays Journal first: shards already journaled under this
+	// exact geometry merge verbatim instead of re-running. Shard
+	// aggregates round-trip exactly (integer sketches, shortest-form
+	// floats), so a resumed scorecard is byte-identical to an
+	// uninterrupted one.
+	Resume bool
+	// Stop, when non-nil, is polled before each shard starts; once it
+	// returns true, unstarted shards are skipped and the result marked
+	// interrupted. In-flight shards finish and journal normally.
+	Stop func() bool
 }
 
 // Result is a finished fleet run: the merged reduction plus the geometry
@@ -45,6 +61,14 @@ type RunOptions struct {
 type Result struct {
 	Opts RunOptions
 	Agg  *Aggregate
+	// RanShards/ReplayedShards/SkippedShards decompose the shard geometry
+	// for this invocation. Interrupted reports Stop tripped before every
+	// shard reduced, leaving Agg partial; resuming against the same
+	// journal completes it.
+	RanShards      int
+	ReplayedShards int
+	SkippedShards  int
+	Interrupted    bool
 }
 
 // shardRange returns the half-open session range of shard s among n
@@ -74,19 +98,55 @@ func Run(opts RunOptions) (*Result, error) {
 		return &Result{Opts: opts, Agg: NewAggregate()}, nil
 	}
 
+	var replayed map[int]*Aggregate
+	var jw *fleetJournal
+	if opts.Journal != "" {
+		hdr := journalHeader{Population: opts.Population.Name, Seed: opts.Seed, Devices: n, Shards: shards}
+		var warnings []string
+		var err error
+		jw, replayed, warnings, err = openFleetJournal(opts.Journal, hdr, opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+		// Each shard entry is fsync'd as it lands; nothing is left to flush.
+		defer func() { _ = jw.close() }()
+		if opts.Progress != nil {
+			for _, w := range warnings {
+				_, _ = fmt.Fprintln(opts.Progress, w)
+			}
+		}
+	}
+
 	aggs := make([]*Aggregate, shards)
 	errs := make([]error, shards)
 	experiment.RunTasks(shards, func(s int) {
+		if replayed[s] != nil {
+			return
+		}
+		if opts.Stop != nil && opts.Stop() {
+			return
+		}
 		agg := NewAggregate()
 		lo, hi := shardRange(s, shards, n)
 		for i := lo; i < hi; i++ {
 			sess := opts.Population.Session(opts.Seed, i)
-			out, err := runSession(sess)
+			out, err := runSession(i, sess)
 			if err != nil {
 				errs[s] = fmt.Errorf("fleet: session %d (seed %d): %w", i, sess.Seed, err)
 				return
 			}
+			if out.Contained != "" && opts.Progress != nil {
+				_, _ = fmt.Fprintf(opts.Progress, "contained %s in session %d (seed %d): %s\n", out.Contained, i, sess.Seed, out.Detail)
+			}
 			agg.observe(sess, out)
+		}
+		// Journal before publishing: a shard is either durably journaled
+		// and counted, or neither.
+		if jw != nil {
+			if err := jw.append(s, agg); err != nil {
+				errs[s] = err
+				return
+			}
 		}
 		aggs[s] = agg
 		if opts.Progress != nil {
@@ -99,16 +159,64 @@ func Run(opts RunOptions) (*Result, error) {
 		}
 	}
 
-	total := NewAggregate()
-	for _, agg := range aggs {
-		total.Merge(agg)
+	res := &Result{Opts: opts, Agg: NewAggregate()}
+	for s := 0; s < shards; s++ {
+		switch {
+		case replayed[s] != nil:
+			res.ReplayedShards++
+			res.Agg.Merge(replayed[s])
+		case aggs[s] != nil:
+			res.RanShards++
+			res.Agg.Merge(aggs[s])
+		default:
+			res.SkippedShards++
+			res.Interrupted = true
+		}
 	}
-	return &Result{Opts: opts, Agg: total}, nil
+	return res, nil
+}
+
+// mutateGoalOptions, when non-nil, rewrites session index i's GoalOptions
+// before the run starts. It exists solely for containment self-tests that
+// plant crashing or livelocking injectors into an otherwise healthy fleet.
+// Never set outside tests.
+var mutateGoalOptions func(i int, opt *experiment.GoalOptions)
+
+// containedFault is a panic or stall the session fence recovered: the
+// sentinel name it maps to and the triage detail.
+type containedFault struct {
+	sentinel string
+	detail   string
+}
+
+// runGoalFenced is the fleet's panic fence around one device session. Any
+// panic unwinding RunGoal — a process fault transported by the kernel
+// (sim.ProcPanic), a kernel-context panic, or the stall detector's
+// sim.ErrStall — is recovered here and handed back as a contained fault
+// for the aggregate, instead of killing the whole fleet run. The rig's
+// goroutines are already torn down when the fence fires: RunGoal defers
+// Kernel.Shutdown.
+func runGoalFenced(opt experiment.GoalOptions) (res experiment.GoalResult, cv *containedFault) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		switch f := r.(type) {
+		case *sim.ErrStall:
+			cv = &containedFault{sentinel: chaos.SentinelStall, detail: f.Error()}
+		case *sim.ProcPanic:
+			cv = &containedFault{sentinel: chaos.SentinelPanic, detail: fmt.Sprintf("%v\n%s", f.Error(), f.Stack)}
+		default:
+			cv = &containedFault{sentinel: chaos.SentinelPanic, detail: fmt.Sprintf("kernel-context panic: %v\n%s", r, sim.CallerStack(1))}
+		}
+	}()
+	return experiment.RunGoal(opt), nil
 }
 
 // runSession executes one derived session through the goal-directed
 // experiment on a private rig and extracts the mergeable outcome.
-func runSession(sess Session) (sessionOutcome, error) {
+func runSession(index int, sess Session) (sessionOutcome, error) {
 	var out sessionOutcome
 	var buildErr error
 	profile := sess.Profile
@@ -160,9 +268,18 @@ func runSession(sess Session) (sessionOutcome, error) {
 			return pl
 		}
 	}
-	res := experiment.RunGoal(opt)
+	if mutateGoalOptions != nil {
+		mutateGoalOptions(index, &opt)
+	}
+	res, cv := runGoalFenced(opt)
 	if buildErr != nil {
 		return out, buildErr
+	}
+	if cv != nil {
+		// The session died mid-flight: its metrics are partial, so the
+		// aggregate folds only the containment counters for it.
+		out.Contained, out.Detail = cv.sentinel, cv.detail
+		return out, nil
 	}
 	out.Met = res.Met
 	out.Residual = res.Residual

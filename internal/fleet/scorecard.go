@@ -34,6 +34,10 @@ func (r *Result) render(w *strings.Builder, withDashboard bool) {
 	a := r.Agg
 	fmt.Fprintf(w, "fleet scorecard: population=%s seed=%d devices=%d shards=%d\n",
 		r.Opts.Population.Name, r.Opts.Seed, r.Opts.Devices, r.shards())
+	if r.Interrupted {
+		fmt.Fprintf(w, "PARTIAL: %d of %d shards reduced (%d skipped after interrupt)\n",
+			r.RanShards+r.ReplayedShards, r.shards(), r.SkippedShards)
+	}
 	if a.Sessions == 0 {
 		fmt.Fprintln(w, "no sessions")
 		return
@@ -42,6 +46,10 @@ func (r *Result) render(w *strings.Builder, withDashboard bool) {
 		a.Sessions, a.GoalMet, 100*float64(a.GoalMet)/float64(a.Sessions), a.GoalMissRate())
 	fmt.Fprintf(w, "quarantines=%d (rate %.4f/session) restarts=%d adaptations=%d fault-events=%d\n",
 		a.Quarantines, a.QuarantineRate(), a.Restarts, a.Adaptations, a.FaultEvents)
+	if a.ContainedPanics+a.ContainedStalls > 0 {
+		fmt.Fprintf(w, "contained: panics=%d stalls=%d (counted as goal misses; partial metrics not folded)\n",
+			a.ContainedPanics, a.ContainedStalls)
+	}
 	fmt.Fprintf(w, "session length: p50=%.1fm p95=%.1fm  start stagger: p50=%.1fm p95=%.1fm  avg concurrency=%.1f\n",
 		a.SessionMin.Quantile(0.50), a.SessionMin.Quantile(0.95),
 		a.StartMin.Quantile(0.50), a.StartMin.Quantile(0.95),

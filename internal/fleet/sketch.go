@@ -13,7 +13,12 @@
 // fleet scorecard is byte-identical at any -parallel width.
 package fleet
 
-import "math"
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+)
 
 // The quantile sketch: a log-linear histogram in the HDR-histogram family.
 // Positive values are bucketed by power-of-two octave and a linear
@@ -129,6 +134,60 @@ func (s *Sketch) ApproxSum() float64 {
 		}
 	}
 	return total
+}
+
+// sketchJSON is the sparse wire form of a Sketch for the fleet shard
+// journal: only occupied buckets, keyed by decimal bucket index. Counts
+// are integers, so the round trip is exact and a journaled shard resumes
+// to byte-identical fingerprints.
+type sketchJSON struct {
+	Pos  map[string]int64 `json:"pos,omitempty"`
+	Neg  map[string]int64 `json:"neg,omitempty"`
+	Zero int64            `json:"zero,omitempty"`
+	N    int64            `json:"n"`
+}
+
+func sparse(buckets *[sketchBuckets]int64) map[string]int64 {
+	var m map[string]int64
+	for i, c := range buckets {
+		if c != 0 {
+			if m == nil {
+				m = make(map[string]int64)
+			}
+			m[strconv.Itoa(i)] = c
+		}
+	}
+	return m
+}
+
+func unsparse(m map[string]int64, buckets *[sketchBuckets]int64) error {
+	//odylint:allow mapiter order-independent: keys map to distinct buckets, and any malformed key aborts the decode
+	for k, c := range m {
+		i, err := strconv.Atoi(k)
+		if err != nil || i < 0 || i >= sketchBuckets {
+			return fmt.Errorf("fleet: sketch bucket %q outside [0,%d)", k, sketchBuckets)
+		}
+		buckets[i] = c
+	}
+	return nil
+}
+
+// MarshalJSON encodes the sketch sparsely (see sketchJSON).
+func (s *Sketch) MarshalJSON() ([]byte, error) {
+	return json.Marshal(sketchJSON{Pos: sparse(&s.pos), Neg: sparse(&s.neg), Zero: s.zero, N: s.n})
+}
+
+// UnmarshalJSON decodes the sparse form, replacing the sketch's contents.
+func (s *Sketch) UnmarshalJSON(b []byte) error {
+	var j sketchJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*s = Sketch{zero: j.Zero, n: j.N}
+	if err := unsparse(j.Pos, &s.pos); err != nil {
+		return err
+	}
+	return unsparse(j.Neg, &s.neg)
 }
 
 // Quantile returns the q-th quantile (q in [0,1]) by nearest rank: the

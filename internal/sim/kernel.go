@@ -188,14 +188,26 @@ type Kernel struct {
 	running   bool
 	stopped   bool
 	idleHooks []func() bool
+
+	// fault carries a panic recovered from a process goroutine back to the
+	// kernel goroutine, which re-raises it once it holds the baton again
+	// (see containment.go).
+	fault *ProcPanic
+
+	// Stall detection: sinceAdvance counts events dispatched since the
+	// clock last advanced; when it reaches stallBound the kernel unwinds
+	// with *ErrStall. stallBound <= 0 disables detection.
+	sinceAdvance int
+	stallBound   int
 }
 
 // NewKernel returns a kernel with its clock at zero and a deterministic
 // random source derived from seed.
 func NewKernel(seed int64) *Kernel {
 	return &Kernel{
-		rng:   rand.New(rand.NewSource(seed)),
-		yield: make(chan struct{}),
+		rng:        rand.New(rand.NewSource(seed)),
+		yield:      make(chan struct{}),
+		stallBound: DefaultStallBound,
 	}
 }
 
@@ -431,6 +443,16 @@ func (k *Kernel) Shutdown() {
 		p.resume <- struct{}{}
 		<-k.yield
 	}
+	if k.fault != nil {
+		// A process's deferred cleanup panicked while unwinding. Every
+		// goroutine is down by now, so the wrapped fault can be re-raised
+		// safely here. Only the last such fault survives a multi-fault
+		// teardown — acceptable for what is already a double failure.
+		f := k.fault
+		k.fault = nil
+		//odylint:allow panicfree fault transport: re-raising a process panic recovered during teardown
+		panic(f)
+	}
 }
 
 // OnIdle registers a hook invoked when the event queue drains. If the hook
@@ -454,6 +476,7 @@ func (k *Kernel) Run(horizon time.Duration) time.Duration {
 	}
 	k.running = true
 	k.stopped = false
+	k.sinceAdvance = 0
 	defer func() { k.running = false }()
 
 	for !k.stopped {
@@ -477,6 +500,11 @@ func (k *Kernel) Run(horizon time.Duration) time.Duration {
 				// Ring entries were scheduled at (or before) the current
 				// clock reading, so servicing one never advances the
 				// clock and never crosses the horizon.
+				if k.stallBound > 0 {
+					if k.sinceAdvance++; k.sinceAdvance >= k.stallBound {
+						k.tripStall()
+					}
+				}
 				p, fn := re.p, re.fn
 				re.p, re.fn = nil, nil
 				k.ringHead = (k.ringHead + 1) & (len(k.ring) - 1)
@@ -506,6 +534,13 @@ func (k *Kernel) Run(horizon time.Duration) time.Duration {
 		// Recycle before dispatch: a handle cancelled from within its own
 		// callback is already stale, matching fired-event semantics.
 		k.recycleTimer(tm)
+		if at > k.now {
+			k.sinceAdvance = 0
+		} else if k.stallBound > 0 {
+			if k.sinceAdvance++; k.sinceAdvance >= k.stallBound {
+				k.tripStall()
+			}
+		}
 		k.now = at
 		fn()
 	}
@@ -562,20 +597,29 @@ var killSentinel any = procKilled{}
 
 // runProc executes the process body, converting a Shutdown-induced unwind
 // back into a normal return so the final hand-back in Spawn still runs.
-// Any other panic propagates unchanged.
+// Any other panic is wrapped with the process's identity and transported to
+// the kernel goroutine (see recoverKill).
 func runProc(p *Proc, fn func(p *Proc)) {
-	defer recoverKill()
+	defer p.recoverKill()
 	fn(p)
 }
 
-// recoverKill absorbs the Shutdown kill sentinel. It must be the deferred
-// function itself so recover takes effect.
-func recoverKill() {
+// recoverKill absorbs the Shutdown kill sentinel. Any other panic is wrapped
+// in a *ProcPanic naming the process that died — the raw value alone would
+// leave a crash report unable to say which simulated process was at fault —
+// and parked on k.fault rather than re-raised: re-raising here would kill
+// the whole program on a goroutine nothing can recover from, while the
+// kernel goroutine sits blocked in the baton handshake. The process
+// goroutine then exits through the normal final hand-back and the kernel
+// re-raises the wrapped fault from transfer (or Shutdown). It must be the
+// deferred function itself so recover takes effect.
+func (p *Proc) recoverKill() {
 	if r := recover(); r != nil {
-		if _, ok := r.(procKilled); !ok {
-			//odylint:allow panicfree re-raising a non-sentinel panic preserves the original failure
-			panic(r)
+		if _, ok := r.(procKilled); ok {
+			return
 		}
+		//odylint:allow hotalloc containment cold path: wraps a fault once, as the process dies
+		p.k.fault = &ProcPanic{Proc: p.name, PID: p.pid, Value: r, Stack: CallerStack(1)}
 	}
 }
 
@@ -632,6 +676,15 @@ func (k *Kernel) transfer(p *Proc) {
 	p.resume <- struct{}{}
 	<-k.yield
 	k.current = prev
+	if k.fault != nil {
+		f := k.fault
+		k.fault = nil
+		// Re-raise the transported process fault now that the kernel
+		// goroutine holds the baton again: from here it unwinds Kernel.Run
+		// into whatever fence the caller installed.
+		//odylint:allow panicfree fault transport: re-raising the wrapped process panic on a recoverable goroutine
+		panic(f)
+	}
 }
 
 // park blocks the calling process until another party resumes it via

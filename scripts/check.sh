@@ -43,15 +43,25 @@
 #                                          every previously-failing scenario
 #                                          in the regression corpus must
 #                                          replay clean
-#  13. fleet smoke + determinism replay    a 600-session -race fleet soak
+#  13. containment smoke + resume replay   a -race soak over the containment
+#                                          corpus (planted process-panic and
+#                                          livelock scenarios among healthy
+#                                          ones) must finish, report exactly
+#                                          panic=1 stall=1 with shrunk
+#                                          repros, and a journal truncated
+#                                          mid-run must -resume to a
+#                                          byte-identical report
+#  14. fleet smoke + determinism replay    a 600-session -race fleet soak
 #                                          must produce a scorecard
 #                                          byte-identical to a serial
-#                                          replay of the same seed
-#  14. BENCH_kernel.json                   kernel performance artifact
+#                                          replay of the same seed, and a
+#                                          shard journal truncated mid-run
+#                                          must -resume to the same bytes
+#  15. BENCH_kernel.json                   kernel performance artifact
 #                                          (ns/op, allocs/op, scenarios/sec)
 #                                          tracking ROADMAP item 2; schema in
 #                                          EXPERIMENTS.md
-#  15. benchgate                           perf-regression gate: fresh
+#  16. benchgate                           perf-regression gate: fresh
 #                                          artifact vs BENCH_baseline.json;
 #                                          >25% ns/op or allocs/op growth
 #                                          fails (ns/op gated only on a
@@ -129,11 +139,45 @@ if [ "${1:-}" != "fast" ]; then
     go run -race ./cmd/odyssey-chaos -soak 20 -seed 7 -out "$smokedir/chaos-failures"
     go run ./cmd/odyssey-chaos -corpus internal/chaos/testdata/corpus -v
 
+    echo "==> containment smoke (-race, planted panic + livelock) + kill-and-resume replay"
+    status=0
+    go run -race ./cmd/odyssey-chaos -soak-corpus internal/chaos/testdata/containment \
+        -out "$smokedir/quarantine" -journal "$smokedir/contain.jsonl" \
+        -report "$smokedir/contain_full.txt" > /dev/null || status=$?
+    [ "$status" -eq 1 ] || {
+        echo "FAIL: containment soak exited $status, want 1 (exactly the two planted failures)" >&2; exit 1; }
+    grep -qx 'violations: panic=1 stall=1' "$smokedir/contain_full.txt" || {
+        echo "FAIL: containment soak did not report exactly panic=1 stall=1:" >&2
+        cat "$smokedir/contain_full.txt" >&2; exit 1; }
+    grep -q '  repro: go run ./cmd/odyssey-chaos -scenario ' "$smokedir/contain_full.txt" || {
+        echo "FAIL: containment soak reported no shrunk repro commands" >&2; exit 1; }
+    # Simulate a mid-run kill: keep the first two journal entries plus a torn
+    # line, then -resume must replay them and re-render identical bytes.
+    head -2 "$smokedir/contain.jsonl" > "$smokedir/contain_cut.jsonl"
+    printf '{"i":2,"id":"torn' >> "$smokedir/contain_cut.jsonl"
+    status=0
+    go run -race ./cmd/odyssey-chaos -soak-corpus internal/chaos/testdata/containment \
+        -out "$smokedir/quarantine" -journal "$smokedir/contain_cut.jsonl" -resume \
+        -report "$smokedir/contain_resumed.txt" > /dev/null || status=$?
+    [ "$status" -eq 1 ] || {
+        echo "FAIL: resumed containment soak exited $status, want 1" >&2; exit 1; }
+    cmp "$smokedir/contain_full.txt" "$smokedir/contain_resumed.txt" || {
+        echo "FAIL: resumed soak report differs from the uninterrupted one" >&2; exit 1; }
+
     echo "==> fleet smoke (-race, 600 sessions) + fixed-seed determinism replay"
-    go run -race ./cmd/odyssey-fleet -devices 600 -seed 7 -parallel 4 > "$smokedir/fleet_race.txt"
+    go run -race ./cmd/odyssey-fleet -devices 600 -seed 7 -parallel 4 \
+        -journal "$smokedir/fleet.jsonl" > "$smokedir/fleet_race.txt"
     go run ./cmd/odyssey-fleet -devices 600 -seed 7 -parallel 1 > "$smokedir/fleet_serial.txt"
     cmp "$smokedir/fleet_race.txt" "$smokedir/fleet_serial.txt" || {
         echo "FAIL: fleet scorecard differs across parallelism/replay" >&2; exit 1; }
+    # Fleet kill-and-resume: keep the geometry header plus 20 shard entries
+    # and a torn line; the resumed scorecard must be byte-identical.
+    head -21 "$smokedir/fleet.jsonl" > "$smokedir/fleet_cut.jsonl"
+    printf '{"shard":63,"agg":{' >> "$smokedir/fleet_cut.jsonl"
+    go run ./cmd/odyssey-fleet -devices 600 -seed 7 -parallel 4 \
+        -journal "$smokedir/fleet_cut.jsonl" -resume > "$smokedir/fleet_resumed.txt"
+    cmp "$smokedir/fleet_race.txt" "$smokedir/fleet_resumed.txt" || {
+        echo "FAIL: resumed fleet scorecard differs from the uninterrupted one" >&2; exit 1; }
 
     echo "==> kernel performance artifact (BENCH_kernel.json)"
     BENCH_KERNEL_OUT=BENCH_kernel.json go test -run TestEmitBenchKernel .
