@@ -36,6 +36,10 @@ func main() {
 	traceFile := flag.String("trace", "", "write the supply/demand/fidelity trace as CSV")
 	faultsArg := flag.String("faults", "none", "fault plan severity: none, mild, mid, severe")
 	misbehaveArg := flag.String("misbehave", "", "arm the application supervisor under a misbehavior ladder: none, mild, mid, severe (empty = supervisor disarmed)")
+	offloadN := flag.Int("offload", 0, "arm the offload plane with an N-server pool (0 = disarmed; paths byte-identical to earlier releases)")
+	offloadLoad := flag.Float64("offload-load", 0, "with -offload: mean cross-device background load per pool server")
+	offloadPolicy := flag.String("offload-policy", "", "with -offload: force placement policy local or remote (empty = cost model)")
+	offloadNoHedge := flag.Bool("offload-nohedge", false, "with -offload: disable hedged requests")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent simulation runs (1 = serial; output is identical either way)")
 	flag.Parse()
 	experiment.SetParallelism(*parallel)
@@ -68,6 +72,24 @@ func main() {
 		return
 	}
 
+	var offloadCfg *experiment.OffloadConfig
+	if *offloadN > 0 {
+		pol := *offloadPolicy
+		if pol == "auto" {
+			pol = ""
+		}
+		if pol != "" && pol != "local" && pol != "remote" {
+			fmt.Fprintf(os.Stderr, "unknown offload policy %q; known: local remote auto\n", *offloadPolicy)
+			os.Exit(2)
+		}
+		offloadCfg = &experiment.OffloadConfig{
+			Servers:    *offloadN,
+			Contention: *offloadLoad,
+			NoHedge:    *offloadNoHedge,
+			Policy:     pol,
+		}
+	}
+
 	r := experiment.RunGoal(experiment.GoalOptions{
 		Seed:          *seed,
 		InitialEnergy: *joules,
@@ -77,6 +99,7 @@ func main() {
 		Faults:        planBuilder,
 		Supervise:     *misbehaveArg != "",
 		Misbehave:     misBuilder,
+		Offload:       offloadCfg,
 		RecordEvents:  true,
 	})
 	status := "MET"
@@ -118,6 +141,12 @@ func main() {
 			}
 			fmt.Println()
 		}
+	}
+	if offloadCfg != nil {
+		fmt.Printf("Offload (%d-server pool): %.1f J charged to the offload principal; placements local %d, remote %d, hybrid %d\n",
+			*offloadN, r.OffloadEnergy, r.OffloadLocal, r.OffloadRemote, r.OffloadHybrid)
+		fmt.Printf("  robustness: hedges %d, failovers %d, degrade-to-local fallbacks %d, breaker trips %d\n",
+			r.OffloadHedges, r.OffloadFailovers, r.OffloadFallbacks, r.BreakerTrips)
 	}
 	if len(r.Trace) > 1 {
 		chart := textplot.New("Supply and predicted demand", 64, 12)

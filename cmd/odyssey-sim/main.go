@@ -56,6 +56,7 @@ var figures = []struct{ id, desc string }{
 	{"policy", "centralized viceroy vs decentralized per-app adaptation"},
 	{"resilience", "battery goals under escalating network/server fault plans"},
 	{"supervision", "battery goals under escalating application misbehavior"},
+	{"offload", "local/remote/hybrid placement ladder (policy x environment)"},
 	{"check", "validation scorecard (exits nonzero on failures)"},
 }
 
@@ -69,10 +70,12 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent cell-result cache directory (empty = disabled)")
 	progress := flag.Bool("progress", false, "print per-cell progress/timing lines to stderr")
 	misbehaveArg := flag.String("misbehave", "", "with -figure supervision: run a single misbehavior rung (none, mild, mid, severe) instead of the full ladder")
+	offloadArg := flag.String("offload-rung", "", "with -figure offload: run a single policy:environment rung (e.g. auto:crash) instead of the full ladder")
 	scenario := flag.String("scenario", "", "replay a chaos scenario file through the sentinel suite and exit (see cmd/odyssey-chaos)")
 	flag.Parse()
 	emitCSV = *csvOut
 	misbehave = *misbehaveArg
+	offloadRung = *offloadArg
 	experiment.SetParallelism(*parallel)
 	experiment.SetCacheDir(*cacheDir)
 	if *progress {
@@ -142,6 +145,9 @@ var emitCSV bool
 
 // misbehave selects a single supervision rung for -figure supervision.
 var misbehave string
+
+// offloadRung selects a single policy:environment rung for -figure offload.
+var offloadRung string
 
 // render prints a table in the selected format.
 func render(t *experiment.Table) {
@@ -217,6 +223,27 @@ func run(id string, trials int, breakdown bool) {
 			return
 		}
 		render(experiment.SupervisionTable(experiment.FigureSupervision(min(trials, 3))))
+	case "offload":
+		if offloadRung != "" {
+			policy, env, ok := strings.Cut(offloadRung, ":")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "offload rung %q is not policy:environment (e.g. auto:crash)\n", offloadRung)
+				os.Exit(2)
+			}
+			if !contains(experiment.OffloadPolicies, policy) || !contains(experiment.OffloadSeverities, env) {
+				fmt.Fprintf(os.Stderr, "unknown offload rung %q; policies: %s; environments: %s\n",
+					offloadRung, strings.Join(experiment.OffloadPolicies, " "), strings.Join(experiment.OffloadSeverities, " "))
+				os.Exit(2)
+			}
+			r := experiment.RunOffloadTrial(policy, env, 2800)
+			fmt.Printf("Offload trial (%s policy, %s environment): met=%v residual %.0f J (%.1f%% of supply), offload energy %.1f J\n",
+				policy, env, r.Met, r.Residual, r.Residual/experiment.Figure20InitialEnergy*100, r.OffloadEnergy)
+			fmt.Printf("  verdicts local %d / remote %d / hybrid %d; hedges %d, failovers %d, fallbacks %d, breaker trips %d\n",
+				r.OffloadLocal, r.OffloadRemote, r.OffloadHybrid,
+				r.OffloadHedges, r.OffloadFailovers, r.OffloadFallbacks, r.BreakerTrips)
+			return
+		}
+		render(experiment.OffloadTable(experiment.FigureOffload(min(trials, 3))))
 	case "check":
 		rs := experiment.Validate(min(trials, 3))
 		render(experiment.ValidationTable(rs))
@@ -231,6 +258,16 @@ func run(id string, trials int, breakdown bool) {
 			os.Exit(1)
 		}
 	}
+}
+
+// contains reports whether list has the exact entry.
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
 }
 
 func printGrid(g *experiment.Grid, breakdown bool) {

@@ -12,6 +12,7 @@ import (
 	"odyssey/internal/core"
 	"odyssey/internal/hw"
 	"odyssey/internal/netsim"
+	"odyssey/internal/offload"
 	"odyssey/internal/sim"
 )
 
@@ -39,6 +40,14 @@ type Rig struct {
 	// window covers (Section 4's projection); otherwise the whole panel
 	// follows conventional backlight control.
 	ZonedPolicy bool
+
+	// Offload is the decision-and-execution layer over Pool, nil unless
+	// EnableOffload armed it. Applications must treat nil as "take the
+	// legacy code path verbatim": that is the disarmed-equals-legacy
+	// byte-identity contract.
+	Offload *offload.Service
+	// Pool is the offload server fleet (nil when the plane is disarmed).
+	Pool *netsim.Pool
 }
 
 // NewRig builds a fresh testbed for one trial. displayZones is 1 for a
@@ -73,6 +82,21 @@ func NewRigProfile(seed int64, displayZones int, profile hw.Profile) *Rig {
 		*s.dst = srv
 	}
 	return r
+}
+
+// EnableOffload arms the offload plane: a pool of servers named
+// offload-0 … offload-(n-1), seeded cross-device contention at the given
+// level, and the decision service over them. The service and the pool draw
+// from streams derived from seed, never the kernel RNG, so arming the
+// plane does not perturb workload draws. Arming also engages the network's
+// resilient transport (hedging needs deadlines).
+func (r *Rig) EnableOffload(servers int, contention float64, seed int64, cfg offload.Config) {
+	if servers <= 0 {
+		return
+	}
+	r.Pool = netsim.NewPool(r.K, "offload", servers, seed)
+	r.Pool.StartContention(contention)
+	r.Offload = offload.New(r.K, r.M, r.Net, r.Pool, seed+1, cfg)
 }
 
 // EnablePowerMgmt turns on the hardware power-management policies of the

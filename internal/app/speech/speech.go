@@ -17,6 +17,7 @@ import (
 	"odyssey/internal/app/env"
 	"odyssey/internal/netsim"
 	"odyssey/internal/odfs"
+	"odyssey/internal/offload"
 	"odyssey/internal/sim"
 	"odyssey/internal/supervise"
 )
@@ -183,6 +184,11 @@ func Recognize(rig *env.Rig, p *sim.Proc, u Utterance, cfg Config) Outcome {
 	rig.M.CPU.Run(p, PrincipalFrontEnd, frontEndCPUPerSec*u.Length.Seconds())
 
 	effort := recogCPUPerSec * u.Complexity * vocabFactor(u, cfg.Vocab) * u.Length.Seconds()
+	if rig.Offload != nil {
+		// The offload plane owns the placement verdict: speech is its
+		// reference client, handing over all three arms per utterance.
+		return recognizeOffload(rig, p, u, effort)
+	}
 	switch cfg.Mode {
 	case Local:
 		rig.M.CPU.Run(p, PrincipalJanus, effort)
@@ -209,6 +215,37 @@ func Recognize(rig *env.Rig, p *sim.Proc, u Utterance, cfg Config) Outcome {
 		}
 	}
 	return Outcome{Mode: cfg.Mode}
+}
+
+// recognizeOffload hands one utterance to the offload service with all
+// three placement arms. The service executes the hybrid phase-1 CPU and
+// all remote traffic (under the offload principal); a local verdict —
+// first-choice or degraded — leaves the full recognition effort here,
+// charged to Janus exactly like the legacy local path.
+func recognizeOffload(rig *env.Rig, p *sim.Proc, u Utterance, effort float64) Outcome {
+	length := u.Length.Seconds()
+	local := offload.Arm{CPU: effort}
+	remote := &offload.Arm{
+		SendBytes:  waveformBytesPerSec * length,
+		ReplyBytes: rpcOverheadBytes,
+		ServerSec:  effort,
+	}
+	hybrid := &offload.Arm{
+		PreCPU:     hybridPhase1CPUPerSec * length,
+		SendBytes:  hybridBytesPerSec * length,
+		ReplyBytes: rpcOverheadBytes,
+		ServerSec:  effort * hybridServerFactor,
+	}
+	out := rig.Offload.Do(p, PrincipalJanus, local, remote, hybrid)
+	switch out.Mode {
+	case offload.Remote:
+		return Outcome{Mode: Remote}
+	case offload.Hybrid:
+		return Outcome{Mode: Hybrid}
+	default:
+		rig.M.CPU.Run(p, PrincipalJanus, effort)
+		return Outcome{Mode: Local, FellBack: out.FellBack}
+	}
 }
 
 // Recognizer is the adaptive speech application: two fidelity levels

@@ -21,6 +21,7 @@ import (
 	"odyssey/internal/hw"
 	"odyssey/internal/netsim"
 	"odyssey/internal/odfs"
+	"odyssey/internal/offload"
 	"odyssey/internal/sim"
 	"odyssey/internal/supervise"
 )
@@ -54,6 +55,15 @@ const (
 	chunkDeadline = 6 * chunk
 	// FramesPerSecond is the clip frame rate (Cinepak clips of the era).
 	FramesPerSecond = 20
+	// transcodeCPUPerSec is the server compute cost of transcoding one
+	// playback second down to a reduced track when the offload plane
+	// places the transcode on a pool member (assumption: re-encoding
+	// costs more than decoding but parallelizes well on a wall-powered
+	// server).
+	transcodeCPUPerSec = 0.35
+	// transcodeRequestBytes is the track-selection request sent ahead of
+	// a remote transcode.
+	transcodeRequestBytes = 600.0
 )
 
 // Window geometry (normalized screen coordinates): the full-size window
@@ -316,6 +326,10 @@ func PlayTrack(rig *env.Rig, p *sim.Proc, clip Clip, trackOf func() Track) Playb
 		dur  time.Duration
 		trk  Track
 		lost bool
+		// base marks a chunk delivered at the full (untranscoded) rate
+		// because the offload plane degraded a remote transcode to the
+		// local path: it decodes at full cost.
+		base bool
 	}
 	nChunks := int((clip.Length + chunk - 1) / chunk)
 	q := sim.NewQueue[piece](k)
@@ -336,6 +350,11 @@ func PlayTrack(rig *env.Rig, p *sim.Proc, clip Clip, trackOf func() Track) Playb
 			// around the track's nominal rate.
 			vbr := 1 + 0.08*(2*k.Rand().Float64()-1)
 			bytes := BaseBytesPerSec * trk.RateFactor * d.Seconds() * vbr
+			if rig.Offload != nil && trk.RateFactor < 1 {
+				base, lost := fetchOffload(rig, fp, d, trk, vbr)
+				q.Put(piece{dur: d, trk: trk, lost: lost, base: base})
+				continue
+			}
 			err := rig.Net.TryBulkTransfer(fp, PrincipalXanim, bytes,
 				netsim.CallOptions{Timeout: chunkDeadline, Attempts: 2})
 			q.Put(piece{dur: d, trk: trk, lost: err != nil})
@@ -360,7 +379,11 @@ func PlayTrack(rig *env.Rig, p *sim.Proc, clip Clip, trackOf func() Track) Playb
 		}
 		rig.IlluminateWindow(pc.trk.Window)
 		rig.M.CPU.RunAsync(PrincipalOdyssey, odysseyCPUPerSec*pc.dur.Seconds(), nil)
-		rig.M.CPU.Run(p, PrincipalXanim, decodeCPUPerSec*pc.trk.DecodeFactor*pc.dur.Seconds())
+		decodeFactor := pc.trk.DecodeFactor
+		if pc.base {
+			decodeFactor = 1.0
+		}
+		rig.M.CPU.Run(p, PrincipalXanim, decodeCPUPerSec*decodeFactor*pc.dur.Seconds())
 		rig.M.CPU.Run(p, PrincipalX, xCPUPerSec*pc.trk.RelArea*pc.dur.Seconds())
 		elapsed += pc.dur
 		if i == 0 {
@@ -389,6 +412,33 @@ func PlayTrack(rig *env.Rig, p *sim.Proc, clip Clip, trackOf func() Track) Playb
 	}
 	fetchDone.Wait(p)
 	return stats
+}
+
+// fetchOffload routes one reduced-track chunk through the offload plane:
+// the remote arm transcodes on a pool member and streams the reduced
+// bytes; the local arm (first choice or degraded) streams the
+// untranscoded chunk, which decodes downstream at full cost. It reports
+// whether the delivered chunk is base-rate and whether it was lost
+// entirely (the local stream also failed).
+func fetchOffload(rig *env.Rig, fp *sim.Proc, d time.Duration, trk Track, vbr float64) (base, lost bool) {
+	sec := d.Seconds()
+	local := offload.Arm{
+		CPU:        decodeCPUPerSec * sec,
+		ReplyBytes: BaseBytesPerSec * sec * vbr,
+		Bulk:       true,
+		Opts:       netsim.CallOptions{Timeout: chunkDeadline, Attempts: 2},
+	}
+	remote := &offload.Arm{
+		CPU:        decodeCPUPerSec * trk.DecodeFactor * sec,
+		SendBytes:  transcodeRequestBytes,
+		ReplyBytes: BaseBytesPerSec * trk.RateFactor * sec * vbr,
+		ServerSec:  transcodeCPUPerSec * sec,
+	}
+	out := rig.Offload.Do(fp, PrincipalXanim, local, remote, nil)
+	if out.Mode == offload.Remote {
+		return false, false
+	}
+	return true, out.LocalErr != nil
 }
 
 // Warden is the video warden: it encapsulates track selection for the

@@ -17,6 +17,7 @@ import (
 	"odyssey/internal/hw"
 	"odyssey/internal/netsim"
 	"odyssey/internal/odfs"
+	"odyssey/internal/offload"
 	"odyssey/internal/sim"
 	"odyssey/internal/supervise"
 )
@@ -53,6 +54,11 @@ const (
 	// minImageBytes floors the distilled size: headers and tiny images
 	// do not shrink.
 	minImageBytes = 110.0
+	// clientDistillCPUPerMB is the client cpu-seconds to distill one
+	// megabyte of original image locally when the offload plane places
+	// distillation on the mobile host (assumption: the 560X is slower at
+	// it than the wall-powered distiller's 1.8 s/MB).
+	clientDistillCPUPerMB = 2.8
 	// originTime is the origin server's response time when the proxy is
 	// bypassed and the image is fetched undistilled.
 	originTime = 100 * time.Millisecond
@@ -158,6 +164,12 @@ func Fetch(rig *env.Rig, p *sim.Proc, img Image, q Quality, think time.Duration)
 	rig.M.CPU.RunAsync(PrincipalOdyssey, odysseyCPUPerOp, nil)
 	rig.M.CPU.Run(p, PrincipalProxy, proxyCPU)
 
+	if rig.Offload != nil && q != FullFidelity {
+		// The offload plane owns distillation placement: pool member or
+		// the client itself, with the envelope handling failures.
+		return fetchOffload(rig, p, img, q, think)
+	}
+
 	// Every request passes through the distillation server; full
 	// fidelity is a pass-through, lower qualities pay the transcode.
 	serverTime := distillPassThrough
@@ -181,6 +193,48 @@ func Fetch(rig *env.Rig, p *sim.Proc, img Image, q Quality, think time.Duration)
 		out.Bytes = DeliveredBytes(img, q)
 		out.Bypassed = false
 		out.Cached = true
+	}
+
+	mb := out.Bytes / 1e6
+	rig.M.CPU.Run(p, PrincipalNetscape, layoutCPU+decodeCPUPerMB*mb)
+	rig.M.CPU.Run(p, PrincipalX, xCPUBase+xCPUPerMB*mb)
+
+	rig.Think(p, think)
+	return out
+}
+
+// fetchOffload places one distillation through the offload service: the
+// remote arm distills on a pool member and delivers the reduced image; the
+// local arm fetches the original from the origin and distills on the
+// client (charged to the proxy principal, which runs the local distiller).
+// Either way the displayed image is the distilled one; only when even the
+// origin fetch fails does the cached copy appear.
+func fetchOffload(rig *env.Rig, p *sim.Proc, img Image, q Quality, think time.Duration) FetchOutcome {
+	mbOrig := img.GIFBytes / 1e6
+	distillSec := distillBase.Seconds() + mbOrig*distillPerMB.Seconds()
+	local := offload.Arm{
+		CPU:        clientDistillCPUPerMB * mbOrig,
+		SendBytes:  requestBytes,
+		ReplyBytes: img.GIFBytes,
+		ServerSec:  originTime.Seconds(),
+		Opts:       netsim.CallOptions{Attempts: 2},
+	}
+	remote := &offload.Arm{
+		SendBytes:  requestBytes,
+		ReplyBytes: DeliveredBytes(img, q),
+		ServerSec:  distillSec,
+	}
+	out := FetchOutcome{Bytes: DeliveredBytes(img, q)}
+	o := rig.Offload.Do(p, PrincipalProxy, local, remote, nil)
+	switch {
+	case o.Mode == offload.Remote:
+		// Distilled on the pool; the reduced bytes are already here.
+	case o.LocalErr != nil:
+		// Even the origin was unreachable; show the cached copy.
+		out.Cached = true
+	default:
+		// Original fetched; distill it on the client.
+		rig.M.CPU.Run(p, PrincipalProxy, clientDistillCPUPerMB*mbOrig)
 	}
 
 	mb := out.Bytes / 1e6

@@ -132,6 +132,67 @@ func TestCorpusReplay(t *testing.T) {
 	}
 }
 
+// TestGenerateCoversOffload: the generator actually exercises the offload
+// plane — scenarios with pools, and among those, pool-targeted injectors —
+// and every such scenario runs clean through the full sentinel suite
+// (which includes the same-seed determinism double-run).
+func TestGenerateCoversOffload(t *testing.T) {
+	var withPool, withPoolFaults int
+	var sample *Scenario
+	for seed := int64(0); seed < 60; seed++ {
+		sc := Generate(seed)
+		if sc.Offload == nil {
+			continue
+		}
+		withPool++
+		if sc.Faults != nil {
+			for _, is := range sc.Faults.Injectors {
+				if is.Target == faults.TargetAnyPool {
+					withPoolFaults++
+					if sample == nil {
+						s := sc
+						sample = &s
+					}
+					break
+				}
+			}
+		}
+	}
+	if withPool == 0 || withPoolFaults == 0 {
+		t.Fatalf("60 seeds generated %d offload scenarios, %d with pool injectors; generator not covering the plane",
+			withPool, withPoolFaults)
+	}
+	out, err := Run(*sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Report.OK() {
+		t.Fatalf("offload scenario with pool faults violated sentinels:\n%s", out.Report.String())
+	}
+}
+
+// TestShrinkerDropsOffloadWithPoolInjectors: clearing a scenario's offload
+// plane must also drop its pool-targeted injectors, or the shrunk candidate
+// could not materialize (pool:any with no pool is a build error).
+func TestShrinkerDropsOffloadWithPoolInjectors(t *testing.T) {
+	sc := Generate(2)
+	sc.Offload = &OffloadSpec{Servers: 3}
+	sc.Faults = &faults.PlanSpec{Name: "f", Seed: 9, Injectors: []faults.InjectorSpec{
+		{Kind: faults.KindLink, MeanUp: faults.Dur(time.Minute), MeanDown: faults.Dur(5 * time.Second)},
+		{Kind: faults.KindServerCrash, Target: faults.TargetAnyPool, MeanUp: faults.Dur(time.Minute)},
+	}}
+	for _, c := range candidates(sc) {
+		if c.Offload != nil || c.Faults == nil {
+			continue
+		}
+		for _, is := range c.Faults.Injectors {
+			if is.Target == faults.TargetAnyPool {
+				t.Fatalf("offload-cleared candidate kept a pool injector: %+v", c.Faults)
+			}
+		}
+	}
+}
+
 // TestRunErrorsOnMalformedSpec: a scenario whose plan names an absent
 // target is a run error, not a crash and not a silent pass.
 func TestRunErrorsOnMalformedSpec(t *testing.T) {

@@ -82,7 +82,47 @@ func Generate(seed int64) Scenario {
 		}
 		sc.Misbehave = plan
 	}
+
+	// Offload plane: armed in ~40% of scenarios. These draws come after
+	// every pre-existing axis — the generator's draw order is append-only,
+	// so the non-offload portion of any seed's scenario is unchanged.
+	if rng.Float64() < 0.4 {
+		sc.Offload = &OffloadSpec{
+			Servers:    2 + rng.Intn(3),
+			Contention: 0.8 * rng.Float64(),
+			NoHedge:    rng.Float64() < 0.25,
+		}
+		// Half the armed scenarios also aim a fault at the pool itself —
+		// the crash/overload-under-offload weather the envelope exists for.
+		if rng.Float64() < 0.5 {
+			if sc.Faults == nil {
+				sc.Faults = &faults.PlanSpec{Name: "chaos-faults", Seed: faultSeed(seed)}
+			}
+			sc.Faults.Injectors = append(sc.Faults.Injectors, genPoolInjector(rng))
+		}
+	}
 	return sc.normalize()
+}
+
+// genPoolInjector draws one injector aimed symbolically at the offload pool;
+// the victim member is resolved by the plan's own RNG at Start.
+func genPoolInjector(rng *rand.Rand) faults.InjectorSpec {
+	if rng.Float64() < 0.5 {
+		return faults.InjectorSpec{
+			Kind:     faults.KindServerCrash,
+			Target:   faults.TargetAnyPool,
+			MeanUp:   durBetween(rng, 30*time.Second, 2*time.Minute),
+			MeanDown: durBetween(rng, 2*time.Second, 15*time.Second),
+			MaxDown:  faults.Dur(45 * time.Second),
+		}
+	}
+	return faults.InjectorSpec{
+		Kind:     faults.KindServerLatency,
+		Target:   faults.TargetAnyPool,
+		MeanUp:   durBetween(rng, 20*time.Second, 90*time.Second),
+		MeanDown: durBetween(rng, 5*time.Second, 20*time.Second),
+		Factor:   2 + 6*rng.Float64(),
+	}
 }
 
 // RandomFaultPlan draws n network/server/battery injectors from rng into a

@@ -73,7 +73,21 @@ func (t *rigTargets) Server(name string) (*netsim.Server, bool) {
 			return s, true
 		}
 	}
+	for _, s := range t.PoolServers() {
+		if s.Name == name {
+			return s, true
+		}
+	}
 	return nil, false
+}
+
+// PoolServers implements faults.PoolTargets over the rig's offload pool
+// (empty when the plane is disarmed, which Build reports as a spec error).
+func (t *rigTargets) PoolServers() []*netsim.Server {
+	if t.rig.Pool == nil {
+		return nil
+	}
+	return t.rig.Pool.Servers()
 }
 
 func (t *rigTargets) Battery() *smartbattery.Battery { return t.bat }
@@ -164,6 +178,14 @@ func runOnce(sc Scenario) (experiment.GoalResult, Ledger, string, *contained, er
 			}
 		},
 	}
+	if sc.Offload != nil {
+		opt.Offload = &experiment.OffloadConfig{
+			Servers:    sc.Offload.Servers,
+			Contention: sc.Offload.Contention,
+			NoHedge:    sc.Offload.NoHedge,
+			Policy:     sc.Offload.Policy,
+		}
+	}
 	if sc.Faults != nil {
 		spec := *sc.Faults
 		opt.Faults = func(rig *env.Rig, bat *smartbattery.Battery, seed int64) *faults.Plan {
@@ -220,6 +242,9 @@ func fingerprint(res experiment.GoalResult) string {
 	}
 	fmt.Fprintf(&b, "faults=%d retries=%d retryJ=%x restarts=%d quarantined=%v\n",
 		res.FaultEvents, res.RetryAttempts, res.RetryEnergy, res.Restarts, res.Quarantined)
+	fmt.Fprintf(&b, "offload local=%d remote=%d hybrid=%d hedges=%d failovers=%d fallbacks=%d trips=%d offJ=%x\n",
+		res.OffloadLocal, res.OffloadRemote, res.OffloadHybrid, res.OffloadHedges,
+		res.OffloadFailovers, res.OffloadFallbacks, res.BreakerTrips, res.OffloadEnergy)
 	return b.String()
 }
 

@@ -52,11 +52,25 @@ type Scenario struct {
 	// carries the application-misbehavior injections.
 	Faults    *faults.PlanSpec `json:"faults,omitempty"`
 	Misbehave *faults.PlanSpec `json:"misbehave,omitempty"`
+	// Offload arms the offload plane (multi-server pool plus the
+	// decision-and-execution service). Omitted when nil, so pre-existing
+	// corpus ids are unchanged.
+	Offload *OffloadSpec `json:"offload,omitempty"`
 	// StallBound overrides the kernel's virtual-time stall bound for this
 	// scenario (0 = kernel default). Planted-livelock repros carry a small
 	// bound so replaying and shrinking them is fast; the generator never
 	// sets it. Omitted when zero, so pre-existing corpus ids are unchanged.
 	StallBound int `json:"stall_bound,omitempty"`
+}
+
+// OffloadSpec is the scenario's offload-plane arming: pool size, the
+// cross-device contention level other clients put on the pool, and the two
+// envelope knobs the soak exercises (hedging disarmed, forced policy).
+type OffloadSpec struct {
+	Servers    int     `json:"servers"`
+	Contention float64 `json:"contention,omitempty"`
+	NoHedge    bool    `json:"no_hedge,omitempty"`
+	Policy     string  `json:"policy,omitempty"`
 }
 
 // ID returns the scenario's content address: the first 16 hex digits of the
@@ -112,8 +126,18 @@ func (sc Scenario) Summary() string {
 	if sc.Supervise {
 		sup = " supervised"
 	}
-	return fmt.Sprintf("%s seed=%d goal=%v energy=%.0fJ apps=%v %s %s%s injectors=%d",
-		sc.ID(), sc.Seed, time.Duration(sc.Goal), sc.InitialEnergy, sc.AppsOrAll(), mode, bat, sup, sc.InjectorCount())
+	off := ""
+	if sc.Offload != nil {
+		off = fmt.Sprintf(" offload=%d(load=%.2f)", sc.Offload.Servers, sc.Offload.Contention)
+		if sc.Offload.NoHedge {
+			off += " nohedge"
+		}
+		if sc.Offload.Policy != "" {
+			off += " policy=" + sc.Offload.Policy
+		}
+	}
+	return fmt.Sprintf("%s seed=%d goal=%v energy=%.0fJ apps=%v %s %s%s%s injectors=%d",
+		sc.ID(), sc.Seed, time.Duration(sc.Goal), sc.InitialEnergy, sc.AppsOrAll(), mode, bat, sup, off, sc.InjectorCount())
 }
 
 // normalize drops empty plans and sorts nothing — injector order is
@@ -128,6 +152,9 @@ func (sc Scenario) normalize() Scenario {
 	}
 	if !sc.SmartBattery {
 		sc.Peukert = 0
+	}
+	if sc.Offload != nil && sc.Offload.Servers <= 0 {
+		sc.Offload = nil
 	}
 	return sc
 }

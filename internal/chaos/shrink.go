@@ -40,6 +40,25 @@ func dropInjector(pl *faults.PlanSpec, i int) *faults.PlanSpec {
 	return &out
 }
 
+// dropPoolInjectors returns a copy of the plan without any TargetAnyPool
+// injectors (nil when that empties the plan, or when pl is already nil).
+func dropPoolInjectors(pl *faults.PlanSpec) *faults.PlanSpec {
+	if pl == nil {
+		return nil
+	}
+	out := *pl
+	out.Injectors = nil
+	for _, in := range pl.Injectors {
+		if in.Target != faults.TargetAnyPool {
+			out.Injectors = append(out.Injectors, in)
+		}
+	}
+	if len(out.Injectors) == 0 {
+		return nil
+	}
+	return &out
+}
+
 // candidates proposes every single-step reduction of sc, smallest-impact
 // first: structure (injectors, apps), then complication flags, then the
 // horizon. Each candidate differs from sc by exactly one step, which keeps
@@ -68,6 +87,15 @@ func candidates(sc Scenario) []Scenario {
 			c.Apps = append(c.Apps, apps[i+1:]...)
 			out = append(out, c)
 		}
+	}
+	if sc.Offload != nil {
+		// Disarming the offload plane also strips pool-targeted injectors:
+		// without the pool they could not materialize, and a candidate that
+		// cannot run cannot reproduce anything.
+		c := sc
+		c.Offload = nil
+		c.Faults = dropPoolInjectors(sc.Faults)
+		out = append(out, c)
 	}
 	for _, clear := range []func(*Scenario) bool{
 		func(c *Scenario) bool { ok := c.Bursty; c.Bursty = false; return ok },

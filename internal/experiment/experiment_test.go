@@ -559,8 +559,8 @@ func TestValidationScorecard(t *testing.T) {
 		t.Skip("full scorecard is expensive")
 	}
 	rs := Validate(1)
-	if len(rs) != 30 {
-		t.Fatalf("%d checks, want 30", len(rs))
+	if len(rs) != 33 {
+		t.Fatalf("%d checks, want 33", len(rs))
 	}
 	for _, r := range rs {
 		if !r.Pass {

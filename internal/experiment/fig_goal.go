@@ -9,6 +9,7 @@ import (
 	"odyssey/internal/faults"
 	"odyssey/internal/hw"
 	"odyssey/internal/netsim"
+	"odyssey/internal/offload"
 	"odyssey/internal/power"
 	"odyssey/internal/smartbattery"
 	"odyssey/internal/stats"
@@ -106,7 +107,29 @@ type GoalOptions struct {
 	// plane's planted-livelock repros use small bounds so shrinking a
 	// stalling scenario stays fast.
 	StallBound int
+	// Offload, if set, arms the offload plane: a multi-server pool and the
+	// decision-and-execution service the applications consult. Nil keeps
+	// every application on its legacy path byte for byte.
+	Offload *OffloadConfig
 }
+
+// OffloadConfig parameterizes the offload plane for one run.
+type OffloadConfig struct {
+	// Servers is the pool size (<=0 leaves the plane disarmed).
+	Servers int
+	// Contention is the cross-device load level other clients put on the
+	// pool (0 = idle fleet; see netsim.Pool.StartContention).
+	Contention float64
+	// NoHedge disarms the hedged second request.
+	NoHedge bool
+	// Policy forces the placement verdict ("local"/"remote"; ""/"auto"
+	// runs the cost model).
+	Policy string
+}
+
+// offloadSeed derives the offload plane's RNG stream from the run seed,
+// disjoint by construction from the kernel, fault, and misbehavior streams.
+func offloadSeed(seed int64) int64 { return seed*2654435761 + 307 }
 
 // GoalResult is the outcome of one goal-directed run.
 type GoalResult struct {
@@ -135,6 +158,16 @@ type GoalResult struct {
 	FaultCounts    map[string]int
 	// Events is the run's trace log when RecordEvents was set.
 	Events *trace.Log
+
+	// Offload observables (zero when the plane is disarmed).
+	OffloadEnergy    float64 // joules attributed to the offload principal
+	OffloadLocal     int     // verdicts that ran locally from the start
+	OffloadRemote    int     // completed remote placements
+	OffloadHybrid    int     // completed hybrid placements
+	OffloadHedges    int     // hedged second requests engaged
+	OffloadFailovers int     // re-dispatches after a crash or link cut
+	OffloadFallbacks int     // remote/hybrid verdicts degraded to local
+	BreakerTrips     int     // circuit-breaker open transitions
 
 	// Supervision observables (zero when the supervisor is disarmed).
 	SuperviseEnergy float64        // joules attributed to the supervise principal
@@ -212,6 +245,12 @@ func RunGoal(opt GoalOptions) GoalResult {
 	// hundreds of times. Run's own deferred reset of the running flag fires
 	// first during unwind, so Shutdown always sees a stopped kernel.
 	defer rig.K.Shutdown()
+	if oc := opt.Offload; oc != nil && oc.Servers > 0 {
+		rig.EnableOffload(oc.Servers, oc.Contention, offloadSeed(opt.Seed), offload.Config{
+			Hedge:  !oc.NoHedge,
+			Policy: oc.Policy,
+		})
+	}
 	apps := workload.NewApps(rig)
 	if opt.Apps != nil {
 		if err := apps.Enable(opt.Apps...); err != nil {
@@ -261,6 +300,15 @@ func RunGoal(opt GoalOptions) GoalResult {
 		depleted = supply.Depleted
 	}
 	em.SetGoal(opt.Goal)
+	if rig.Offload != nil {
+		initial := opt.InitialEnergy
+		rig.Offload.SetPressure(func() float64 {
+			if initial <= 0 {
+				return 0.5
+			}
+			return 1 - residual()/initial
+		})
+	}
 
 	res := GoalResult{Goal: opt.Goal, Adaptations: make(map[string]int)}
 	if opt.RecordEvents {
@@ -389,6 +437,17 @@ func RunGoal(opt GoalOptions) GoalResult {
 		for k, v := range mc {
 			res.FaultCounts[k] += v
 		}
+	}
+	if rig.Offload != nil {
+		st := rig.Offload.Stats
+		res.OffloadEnergy = rig.M.Acct.EnergyByPrincipal()[offload.Principal]
+		res.OffloadLocal = st.LocalRuns
+		res.OffloadRemote = st.RemoteRuns
+		res.OffloadHybrid = st.HybridRuns
+		res.OffloadHedges = st.Hedges
+		res.OffloadFailovers = st.Failovers
+		res.OffloadFallbacks = st.Fallbacks
+		res.BreakerTrips = st.BreakerTrips
 	}
 	if sup != nil {
 		res.SuperviseEnergy = rig.M.Acct.EnergyByPrincipal()[supervise.Principal]

@@ -1,0 +1,191 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"odyssey/internal/app/env"
+	"odyssey/internal/faults"
+	"odyssey/internal/smartbattery"
+	"odyssey/internal/stats"
+)
+
+// The offload ladder: the goal-directed scenario with the offload plane
+// armed, swept across placement policies (always-local, always-remote, the
+// cost model) and escalating environments (idle pool, cross-device
+// contention, mid-offload link flaps, a pool crash ladder). The always-local
+// and always-remote arms bracket the cost model: the decision layer earns
+// its keep only if it beats both brackets where they are weak — remote under
+// crashes, local under an idle fast pool.
+
+// OffloadSeverities lists the environment rungs, benign first. "crash" is
+// the acceptance bar: every offload attempt that the weather strands must
+// degrade to local, with the goal still met and zero sentinel violations.
+var OffloadSeverities = []string{"none", "contended", "flap", "crash"}
+
+// OffloadPolicies lists the placement-policy arms of the ladder.
+var OffloadPolicies = []string{"local", "remote", "auto"}
+
+// offloadPoolSize is the ladder's server fleet size.
+const offloadPoolSize = 3
+
+// offloadGoal mirrors the resilience ladder's hard 26-minute goal: the
+// scenario with the least slack for abandoned-work waste.
+const offloadGoal = 26 * time.Minute
+
+// offloadRung couples one severity name to its pool contention level and
+// fault plan.
+type offloadRung struct {
+	contention float64
+	plan       PlanBuilder
+}
+
+// offloadPlanSeed decorrelates the ladder's fault timing from the workload
+// and offload streams.
+func offloadPlanSeed(seed int64) int64 { return seed*2654435761 + 401 }
+
+// offloadRungByName returns the environment rung for a severity name.
+func offloadRungByName(name string) (offloadRung, bool) {
+	switch name {
+	case "none":
+		return offloadRung{contention: 0, plan: nil}, true
+	case "contended":
+		// An idle link but a busy fleet: other devices keep the pool's
+		// background load high, so remote estimates inflate honestly.
+		return offloadRung{contention: 1.5, plan: nil}, true
+	case "flap":
+		// Mid-offload link flaps: outages short enough that most requests
+		// span one, forcing failover or degrade-to-local mid-transfer.
+		return offloadRung{contention: 0.4, plan: func(rig *env.Rig, _ *smartbattery.Battery, seed int64) *faults.Plan {
+			pl := faults.NewPlan(rig.K, "offload-flap", offloadPlanSeed(seed))
+			pl.Add(&faults.LinkOutage{Net: rig.Net, MeanUp: 45 * time.Second, MeanDown: 8 * time.Second, MaxDown: 30 * time.Second})
+			return pl
+		}}, true
+	case "crash":
+		// The severe rung: pool members crash and spike in turn while the
+		// link flaps — the weather the breaker/hedge/failover envelope
+		// exists for.
+		return offloadRung{contention: 0.4, plan: func(rig *env.Rig, _ *smartbattery.Battery, seed int64) *faults.Plan {
+			pl := faults.NewPlan(rig.K, "offload-crash", offloadPlanSeed(seed))
+			pool := rig.Pool.Servers()
+			pl.Add(
+				&faults.ServerCrash{Pool: pool, Net: rig.Net, MeanUp: 90 * time.Second, MeanDown: 25 * time.Second, MaxDown: 60 * time.Second},
+				&faults.ServerCrash{Pool: pool, Net: rig.Net, MeanUp: 2 * time.Minute, MeanDown: 20 * time.Second, MaxDown: 45 * time.Second},
+				&faults.ServerLatency{Pool: pool, Net: rig.Net, MeanCalm: 90 * time.Second, MeanSpike: 30 * time.Second, Factor: 6},
+				&faults.LinkOutage{Net: rig.Net, MeanUp: 90 * time.Second, MeanDown: 10 * time.Second, MaxDown: 30 * time.Second},
+			)
+			return pl
+		}}, true
+	}
+	return offloadRung{}, false
+}
+
+// RunOffloadTrial runs the goal-directed scenario with the offload plane
+// armed under the named policy and environment severity.
+func RunOffloadTrial(policy, severity string, seed int64) GoalResult {
+	rung, ok := offloadRungByName(severity)
+	if !ok {
+		//odylint:allow panicfree experiment misconfiguration; caller passes a known severity
+		panic(fmt.Sprintf("experiment: unknown offload severity %q", severity))
+	}
+	pol := policy
+	if pol == "auto" {
+		pol = ""
+	}
+	return RunGoal(GoalOptions{
+		Seed:          seed,
+		InitialEnergy: Figure20InitialEnergy,
+		Goal:          offloadGoal,
+		Faults:        rung.plan,
+		Offload: &OffloadConfig{
+			Servers:    offloadPoolSize,
+			Contention: rung.contention,
+			Policy:     pol,
+		},
+	})
+}
+
+// OffloadRow aggregates trials for one (severity, policy) cell.
+type OffloadRow struct {
+	Severity string
+	Policy   string
+	MetPct   float64
+	Residual stats.Summary
+	OffloadJ stats.Summary // joules charged to the offload principal
+	Local    stats.Summary // verdicts run locally from the start
+	Remote   stats.Summary // completed remote placements
+	Hybrid   stats.Summary
+	Hedges   stats.Summary
+	Failover stats.Summary
+	Fallback stats.Summary // remote verdicts degraded to local
+	Trips    stats.Summary // breaker open transitions
+}
+
+// FigureOffload sweeps the offload ladder: policies x severities, trials
+// runs per cell.
+func FigureOffload(trials int) []OffloadRow {
+	rows := make([]OffloadRow, 0, len(OffloadSeverities)*len(OffloadPolicies))
+	for si, sev := range OffloadSeverities {
+		for pi, pol := range OffloadPolicies {
+			row := OffloadRow{Severity: sev, Policy: pol}
+			var (
+				met                                   int
+				residual, offJ, local, remote, hybrid []float64
+				hedges, failovers, fallbacks, trips   []float64
+			)
+			for t := 0; t < trials; t++ {
+				r := RunOffloadTrial(pol, sev, int64(2800+si*53+pi*11+t))
+				if r.Met {
+					met++
+				}
+				residual = append(residual, r.Residual)
+				offJ = append(offJ, r.OffloadEnergy)
+				local = append(local, float64(r.OffloadLocal))
+				remote = append(remote, float64(r.OffloadRemote))
+				hybrid = append(hybrid, float64(r.OffloadHybrid))
+				hedges = append(hedges, float64(r.OffloadHedges))
+				failovers = append(failovers, float64(r.OffloadFailovers))
+				fallbacks = append(fallbacks, float64(r.OffloadFallbacks))
+				trips = append(trips, float64(r.BreakerTrips))
+			}
+			row.MetPct = float64(met) / float64(trials) * 100
+			row.Residual = stats.Summarize(residual)
+			row.OffloadJ = stats.Summarize(offJ)
+			row.Local = stats.Summarize(local)
+			row.Remote = stats.Summarize(remote)
+			row.Hybrid = stats.Summarize(hybrid)
+			row.Hedges = stats.Summarize(hedges)
+			row.Failover = stats.Summarize(failovers)
+			row.Fallback = stats.Summarize(fallbacks)
+			row.Trips = stats.Summarize(trips)
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// OffloadTable renders the ladder results.
+func OffloadTable(rows []OffloadRow) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Offload: %d-minute goal, %d-server pool, policy x environment ladder (supply %.0f J)",
+			int(offloadGoal.Minutes()), offloadPoolSize, Figure20InitialEnergy),
+		Columns: []string{"Env", "Policy", "Met", "Residual (J)", "Offload (J)", "Local", "Remote", "Hybrid", "Hedges", "Failovers", "Fallbacks", "Trips"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Severity,
+			r.Policy,
+			fmt.Sprintf("%.0f%%", r.MetPct),
+			r.Residual.String(),
+			r.OffloadJ.String(),
+			r.Local.String(),
+			r.Remote.String(),
+			r.Hybrid.String(),
+			r.Hedges.String(),
+			r.Failover.String(),
+			r.Fallback.String(),
+			r.Trips.String(),
+		})
+	}
+	return t
+}

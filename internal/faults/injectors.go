@@ -120,22 +120,40 @@ type ServerCrash struct {
 	MeanUp   time.Duration
 	MeanDown time.Duration
 	MaxDown  time.Duration
+	// Pool, when non-nil, marks a symbolic TargetAnyPool injector: the
+	// victim Server is drawn from it with the plan's seeded RNG at Start
+	// (one draw, before the toggler's), so which member crashes is
+	// deterministic per seed and the spec round-trips symbolically.
+	Pool []*netsim.Server
 
 	t       toggler
 	crashes int
 }
 
 // Name implements Injector.
-func (c *ServerCrash) Name() string { return "server:" + c.Server.Name }
+func (c *ServerCrash) Name() string {
+	if c.Server == nil {
+		return "server:" + TargetAnyPool
+	}
+	return "server:" + c.Server.Name
+}
 
 // Spec implements Injector.
 func (c *ServerCrash) Spec() InjectorSpec {
-	return InjectorSpec{Kind: KindServerCrash, Target: c.Server.Name,
+	target := TargetAnyPool
+	if c.Pool == nil {
+		target = c.Server.Name
+	}
+	return InjectorSpec{Kind: KindServerCrash, Target: target,
 		MeanUp: Dur(c.MeanUp), MeanDown: Dur(c.MeanDown), MaxDown: Dur(c.MaxDown)}
 }
 
 // Start implements Injector.
 func (c *ServerCrash) Start(pl *Plan) {
+	if c.Server == nil && len(c.Pool) > 0 {
+		c.Server = c.Pool[pl.Rand().Intn(len(c.Pool))]
+		pl.event(c.Name(), "pool victim", float64(0))
+	}
 	if c.Net != nil {
 		c.Net.SetResilient(true)
 	}
@@ -171,22 +189,37 @@ type ServerLatency struct {
 	MeanCalm  time.Duration
 	MeanSpike time.Duration
 	Factor    float64
+	// Pool marks a symbolic TargetAnyPool injector; see ServerCrash.Pool.
+	Pool []*netsim.Server
 
 	t      toggler
 	spikes int
 }
 
 // Name implements Injector.
-func (l *ServerLatency) Name() string { return "latency:" + l.Server.Name }
+func (l *ServerLatency) Name() string {
+	if l.Server == nil {
+		return "latency:" + TargetAnyPool
+	}
+	return "latency:" + l.Server.Name
+}
 
 // Spec implements Injector.
 func (l *ServerLatency) Spec() InjectorSpec {
-	return InjectorSpec{Kind: KindServerLatency, Target: l.Server.Name,
+	target := TargetAnyPool
+	if l.Pool == nil {
+		target = l.Server.Name
+	}
+	return InjectorSpec{Kind: KindServerLatency, Target: target,
 		MeanUp: Dur(l.MeanCalm), MeanDown: Dur(l.MeanSpike), Factor: l.Factor}
 }
 
 // Start implements Injector.
 func (l *ServerLatency) Start(pl *Plan) {
+	if l.Server == nil && len(l.Pool) > 0 {
+		l.Server = l.Pool[pl.Rand().Intn(len(l.Pool))]
+		pl.event(l.Name(), "pool victim", float64(0))
+	}
 	if l.Net != nil {
 		l.Net.SetResilient(true)
 	}

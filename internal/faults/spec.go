@@ -98,6 +98,35 @@ type Targets interface {
 	App(name string) (core.Adaptive, *supervise.AppHealth, bool)
 }
 
+// TargetAnyPool is the symbolic server target "any member of the offload
+// pool": a chaos scenario can crash or overload a pool member without
+// naming a concrete rig object whose name depends on the pool size. The
+// victim is drawn from the plan's seeded RNG at Start, so which member
+// falls is deterministic per seed and the spec round-trips symbolically.
+const TargetAnyPool = "pool:any"
+
+// PoolTargets is the optional extension a binder implements when its rig
+// carries an offload pool; Build consults it only for TargetAnyPool specs,
+// so binders for pool-less rigs need not change.
+type PoolTargets interface {
+	// PoolServers returns the pool members, in index order.
+	PoolServers() []*netsim.Server
+}
+
+// poolServers resolves TargetAnyPool against tg, erroring when the binder
+// has no pool (or an empty one) to draw from.
+func poolServers(kind string, tg Targets) ([]*netsim.Server, error) {
+	pt, ok := tg.(PoolTargets)
+	if !ok {
+		return nil, fmt.Errorf("faults: %s: target %q but the rig has no offload pool", kind, TargetAnyPool)
+	}
+	pool := pt.PoolServers()
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("faults: %s: target %q but the offload pool is empty", kind, TargetAnyPool)
+	}
+	return pool, nil
+}
+
 // Build materializes the spec into a live injector bound to tg.
 func (s InjectorSpec) Build(tg Targets) (Injector, error) {
 	switch s.Kind {
@@ -106,12 +135,26 @@ func (s InjectorSpec) Build(tg Targets) (Injector, error) {
 	case KindLoss:
 		return &ByteLoss{Net: tg.Network(), Fraction: s.Fraction, Spread: s.Spread}, nil
 	case KindServerCrash:
+		if s.Target == TargetAnyPool {
+			pool, err := poolServers(s.Kind, tg)
+			if err != nil {
+				return nil, err
+			}
+			return &ServerCrash{Pool: pool, Net: tg.Network(), MeanUp: s.MeanUp.D(), MeanDown: s.MeanDown.D(), MaxDown: s.MaxDown.D()}, nil
+		}
 		srv, ok := tg.Server(s.Target)
 		if !ok {
 			return nil, fmt.Errorf("faults: %s: unknown server %q", s.Kind, s.Target)
 		}
 		return &ServerCrash{Server: srv, Net: tg.Network(), MeanUp: s.MeanUp.D(), MeanDown: s.MeanDown.D(), MaxDown: s.MaxDown.D()}, nil
 	case KindServerLatency:
+		if s.Target == TargetAnyPool {
+			pool, err := poolServers(s.Kind, tg)
+			if err != nil {
+				return nil, err
+			}
+			return &ServerLatency{Pool: pool, Net: tg.Network(), MeanCalm: s.MeanUp.D(), MeanSpike: s.MeanDown.D(), Factor: s.Factor}, nil
+		}
 		srv, ok := tg.Server(s.Target)
 		if !ok {
 			return nil, fmt.Errorf("faults: %s: unknown server %q", s.Kind, s.Target)

@@ -73,6 +73,7 @@ type Behavior struct {
 	Supervise float64  // probability the supervision plane is on
 	FaultP    float64  // probability of an environmental fault mix
 	MisP      float64  // probability of an application-misbehavior mix
+	OffloadP  float64  // probability the offload plane is armed
 }
 
 // Population is the full fleet description.
@@ -127,25 +128,25 @@ func DefaultPopulation() Population {
 				Name: "commuter", Weight: 0.35,
 				AppP:   []float64{0.5, 0.6, 0.7, 0.8},
 				Bursty: 0.25, Goal: DurRange{2 * time.Minute, 5 * time.Minute},
-				Period: Range{0.8, 1.2}, Supervise: 0.6, FaultP: 0.2, MisP: 0.1,
+				Period: Range{0.8, 1.2}, Supervise: 0.6, FaultP: 0.2, MisP: 0.1, OffloadP: 0.3,
 			},
 			{
 				Name: "streamer", Weight: 0.25,
 				AppP:   []float64{0.2, 1.0, 0.2, 0.4},
 				Bursty: 0.0, Goal: DurRange{3 * time.Minute, 7 * time.Minute},
-				Period: Range{1.2, 2.0}, Supervise: 0.5, FaultP: 0.25, MisP: 0.05,
+				Period: Range{1.2, 2.0}, Supervise: 0.5, FaultP: 0.25, MisP: 0.05, OffloadP: 0.35,
 			},
 			{
 				Name: "browser", Weight: 0.25,
 				AppP:   []float64{0.3, 0.2, 0.8, 1.0},
 				Bursty: 0.5, Goal: DurRange{90 * time.Second, 3 * time.Minute},
-				Period: Range{0.6, 1.0}, Supervise: 0.5, FaultP: 0.2, MisP: 0.1,
+				Period: Range{0.6, 1.0}, Supervise: 0.5, FaultP: 0.2, MisP: 0.1, OffloadP: 0.25,
 			},
 			{
 				Name: "fieldworker", Weight: 0.15,
 				AppP:   []float64{0.9, 0.3, 0.9, 0.5},
 				Bursty: 0.3, Goal: DurRange{2 * time.Minute, 6 * time.Minute},
-				Period: Range{0.8, 1.4}, Supervise: 0.8, FaultP: 0.4, MisP: 0.15,
+				Period: Range{0.8, 1.4}, Supervise: 0.8, FaultP: 0.4, MisP: 0.15, OffloadP: 0.5,
 			},
 		},
 		Watts:   Range{12, 26},
@@ -174,6 +175,11 @@ type Session struct {
 
 	Faults    *faults.PlanSpec
 	Misbehave *faults.PlanSpec
+
+	// Offload plane (zero OffloadServers = disarmed, legacy paths).
+	OffloadServers    int
+	OffloadContention float64
+	OffloadNoHedge    bool
 }
 
 // mix64 combines the fleet seed and a session index into an independent
@@ -280,6 +286,19 @@ func (p Population) Session(fleetSeed int64, i int) Session {
 	if rng.Float64() < beh.MisP {
 		n := 1 + rng.Intn(2)
 		sess.Misbehave = chaos.RandomMisbehavePlan(rng, "fleet-misbehave", misbehaveSeed(sess.Seed), sess.Apps, n)
+	}
+
+	// 5. Offload plane (appended after every pre-existing draw, per the
+	// contract above). The parameter draws happen unconditionally so a
+	// future step 6 sees the same stream whether or not the plane armed.
+	armed := rng.Float64() < beh.OffloadP
+	servers := 2 + rng.Intn(3)
+	contention := 0.8 * rng.Float64()
+	noHedge := rng.Float64() < 0.25
+	if armed {
+		sess.OffloadServers = servers
+		sess.OffloadContention = contention
+		sess.OffloadNoHedge = noHedge
 	}
 	return sess
 }

@@ -246,6 +246,13 @@ func runSession(index int, sess Session) (sessionOutcome, error) {
 			}
 		},
 	}
+	if sess.OffloadServers > 0 {
+		opt.Offload = &experiment.OffloadConfig{
+			Servers:    sess.OffloadServers,
+			Contention: sess.OffloadContention,
+			NoHedge:    sess.OffloadNoHedge,
+		}
+	}
 	if sess.Faults != nil {
 		spec := *sess.Faults
 		opt.Faults = func(rig *env.Rig, bat *smartbattery.Battery, seed int64) *faults.Plan {

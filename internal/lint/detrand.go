@@ -45,6 +45,10 @@ var detrandPackages = []string{
 	// byte-compared across parallelism widths; any wall-clock or global
 	// randomness would break the replay contract (PR 7).
 	"internal/fleet",
+	// The offload plane's verdicts and hedge jitter are part of the
+	// same-seed byte-identity contract; its only admissible randomness is
+	// the service's private seeded stream (PR 10).
+	"internal/offload",
 }
 
 // detrandForbidden maps package path -> forbidden member -> short reason.

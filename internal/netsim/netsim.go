@@ -24,6 +24,12 @@ const (
 	// network misbehaved: retry attempts and loss-induced retransmissions.
 	// It makes wasted joules a first-class line in PowerScope profiles.
 	PrincipalRetry = "net-retry"
+	// PrincipalOffload is charged for the offload plane's robustness work:
+	// hedged requests, cross-server failover attempts, and transfers
+	// abandoned mid-offload. The decision layer (internal/offload) issues
+	// all its remote traffic under it, so the cost of offloading — useful
+	// and wasted alike — is one line in PowerScope profiles.
+	PrincipalOffload = "offload"
 )
 
 // outageCapacity is the link service rate during an injected outage: low
@@ -127,6 +133,10 @@ func (n *Network) SetNominalCapacity(c float64) {
 	}
 }
 
+// NominalCapacity reports the fault-free link rate in bytes/second — the
+// figure the offload cost model uses to estimate transfer time and energy.
+func (n *Network) NominalCapacity() float64 { return n.nominalCap }
+
 // SetLossSampler installs a per-transfer byte-loss source: called once per
 // flow, it returns the fraction of transmitted bytes lost to the channel
 // (retransmissions inflate traffic by 1/(1-loss)). nil restores losslessness.
@@ -204,9 +214,14 @@ func (n *Network) flow(p *sim.Proc, principal string, bytes float64, deadline ti
 	// moved on a retry attempt charge their CPU to the retry principal
 	// instead, so wasted work is attributed where it belongs.
 	irqP, kernP := PrincipalInterrupts, PrincipalKernel
-	if principal == PrincipalRetry {
+	switch principal {
+	case PrincipalRetry:
 		irqP, kernP = PrincipalRetry, PrincipalRetry
 		n.retryBytes += bytes
+	case PrincipalOffload:
+		// Offload-plane traffic keeps its per-byte CPU under the offload
+		// principal too, so the plane's client-side cost is self-contained.
+		irqP, kernP = PrincipalOffload, PrincipalOffload
 	}
 	n.m.CPU.RunAsync(irqP, bytes*irqCPUPerByte, nil)
 	n.m.CPU.RunAsync(kernP, bytes*kernelCPUPerByte, nil)
@@ -277,6 +292,11 @@ type Server struct {
 	// times during injected latency spikes; 0 means calm (factor 1).
 	down    bool
 	latency float64
+
+	// bg is the phantom load other devices place on the server (the pool's
+	// seeded contention model): each request's service time stretches by
+	// 1+bg, as if bg concurrent strangers shared the processor.
+	bg float64
 }
 
 // NewServer returns a server with one second of service capacity per second.
@@ -308,6 +328,21 @@ func (s *Server) LatencyFactor() float64 {
 	return 1
 }
 
+// SetBackgroundLoad installs the phantom contention level: l concurrent
+// strangers' worth of work stretching every service time by 1+l. Negative
+// levels clear it.
+func (s *Server) SetBackgroundLoad(l float64) {
+	if l < 0 {
+		l = 0
+	}
+	s.bg = l
+}
+
+// BackgroundLoad reports the current phantom contention level. The pool
+// publishes it as the server's load bulletin, so the offload cost model
+// reads the same figure the queueing model applies.
+func (s *Server) BackgroundLoad() float64 { return s.bg }
+
 // Do blocks p while the server spends d of compute time on its request,
 // shared with any concurrent requests and jittered by SpeedJitter.
 func (s *Server) Do(p *sim.Proc, d time.Duration) {
@@ -327,6 +362,9 @@ func (s *Server) DoDeadline(p *sim.Proc, d time.Duration, deadline time.Duration
 	}
 	if s.latency > 1 {
 		sec *= s.latency
+	}
+	if s.bg > 0 {
+		sec *= 1 + s.bg
 	}
 	if deadline <= 0 {
 		s.res.Use(p, s.Name, sec)

@@ -44,6 +44,12 @@ type CallOptions struct {
 	// per retry). JitterFrac alone cannot express this: its zero value is
 	// reserved for "use the default" per the zero-value contract above.
 	NoJitter bool
+	// Deadline, when nonzero, is an absolute virtual-clock instant bounding
+	// the whole call: attempts are truncated to it, no attempt starts after
+	// it, and backoff sleeps never overshoot it. Zero keeps the legacy
+	// retry schedule (per-attempt timeouts only). The offload plane's
+	// hedged calls depend on this to share one budget across servers.
+	Deadline time.Duration
 }
 
 // Default call options: bounded enough that a dead link costs seconds, not a
@@ -100,16 +106,34 @@ func (n *Network) TryRPC(p *sim.Proc, principal string, callBytes float64, serve
 			pr = PrincipalRetry
 			n.retryAttempts++
 		}
-		err = n.tryOnce(p, pr, callBytes, server, serverTime, replyBytes, n.k.Now()+opts.Timeout)
+		err = n.tryOnce(p, pr, callBytes, server, serverTime, replyBytes, opts.attemptDeadline(n.k.Now()))
 		if err == nil {
 			return nil
 		}
 		if attempt < opts.Attempts-1 {
-			p.Sleep(jittered(backoff, opts.JitterFrac, n.k))
+			sleep := jittered(backoff, opts.JitterFrac, n.k)
+			if opts.Deadline > 0 {
+				// Sleeping to or past the overall deadline cannot buy
+				// another attempt; give up with the budget unspent.
+				if rem := opts.Deadline - n.k.Now(); sleep >= rem {
+					return err
+				}
+			}
+			p.Sleep(sleep)
 			backoff = time.Duration(float64(backoff) * opts.BackoffFactor)
 		}
 	}
 	return err
+}
+
+// attemptDeadline bounds one attempt starting at now: the per-attempt
+// timeout, truncated to the overall Deadline when one is set.
+func (o CallOptions) attemptDeadline(now time.Duration) time.Duration {
+	d := now + o.Timeout
+	if o.Deadline > 0 && d > o.Deadline {
+		d = o.Deadline
+	}
+	return d
 }
 
 // TryBulkTransfer is BulkTransfer with deadlines and retries, under the same
@@ -128,12 +152,20 @@ func (n *Network) TryBulkTransfer(p *sim.Proc, principal string, bytes float64, 
 			pr = PrincipalRetry
 			n.retryAttempts++
 		}
-		err = n.tryOnce(p, pr, bytes, nil, 0, 0, n.k.Now()+opts.Timeout)
+		err = n.tryOnce(p, pr, bytes, nil, 0, 0, opts.attemptDeadline(n.k.Now()))
 		if err == nil {
 			return nil
 		}
 		if attempt < opts.Attempts-1 {
-			p.Sleep(jittered(backoff, opts.JitterFrac, n.k))
+			sleep := jittered(backoff, opts.JitterFrac, n.k)
+			if opts.Deadline > 0 {
+				// Sleeping to or past the overall deadline cannot buy
+				// another attempt; give up with the budget unspent.
+				if rem := opts.Deadline - n.k.Now(); sleep >= rem {
+					return err
+				}
+			}
+			p.Sleep(sleep)
 			backoff = time.Duration(float64(backoff) * opts.BackoffFactor)
 		}
 	}

@@ -30,20 +30,26 @@
 #                                          end to end under the mid
 #                                          misbehavior ladder
 #  10. disarmed determinism gate           battery-goal with the supervisor
-#                                          disarmed must be byte-identical
-#                                          run to run and carry no trace of
-#                                          the supervision plane
-#  11. parallel/cache smoke                -parallel 4 under -race must be
+#                                          and offload plane disarmed must be
+#                                          byte-identical run to run and
+#                                          carry no trace of either plane
+#  11. offload smoke + armed determinism   the crash rung of the offload
+#                                          ladder under the cost model must
+#                                          meet the goal with every stranded
+#                                          offload degraded to local, and an
+#                                          armed battery-goal run must be
+#                                          byte-identical at the same seed
+#  12. parallel/cache smoke                -parallel 4 under -race must be
 #                                          byte-identical to serial, and a
 #                                          warm-cache rerun must serve every
 #                                          cell from the cache
-#  12. chaos smoke + corpus replay         a bounded soak (fixed seed, 20
+#  13. chaos smoke + corpus replay         a bounded soak (fixed seed, 20
 #                                          scenarios) under -race must pass
 #                                          every invariant sentinel, and
 #                                          every previously-failing scenario
 #                                          in the regression corpus must
 #                                          replay clean
-#  13. containment smoke + resume replay   a -race soak over the containment
+#  14. containment smoke + resume replay   a -race soak over the containment
 #                                          corpus (planted process-panic and
 #                                          livelock scenarios among healthy
 #                                          ones) must finish, report exactly
@@ -51,17 +57,17 @@
 #                                          repros, and a journal truncated
 #                                          mid-run must -resume to a
 #                                          byte-identical report
-#  14. fleet smoke + determinism replay    a 600-session -race fleet soak
+#  15. fleet smoke + determinism replay    a 600-session -race fleet soak
 #                                          must produce a scorecard
 #                                          byte-identical to a serial
 #                                          replay of the same seed, and a
 #                                          shard journal truncated mid-run
 #                                          must -resume to the same bytes
-#  15. BENCH_kernel.json                   kernel performance artifact
+#  16. BENCH_kernel.json                   kernel performance artifact
 #                                          (ns/op, allocs/op, scenarios/sec)
 #                                          tracking ROADMAP item 2; schema in
 #                                          EXPERIMENTS.md
-#  16. benchgate                           perf-regression gate: fresh
+#  17. benchgate                           perf-regression gate: fresh
 #                                          artifact vs BENCH_baseline.json;
 #                                          >25% ns/op or allocs/op growth
 #                                          fails (ns/op gated only on a
@@ -113,7 +119,28 @@ if [ "${1:-}" != "fast" ]; then
         echo "FAIL: disarmed run mentions the supervision plane" >&2
         rm -rf "$supdir"; exit 1
     fi
+    if grep -qi 'offload' "$supdir/a.txt"; then
+        echo "FAIL: disarmed run mentions the offload plane" >&2
+        rm -rf "$supdir"; exit 1
+    fi
     rm -rf "$supdir"
+
+    echo "==> offload smoke (cost model on the crash rung) + armed determinism"
+    offdir=$(mktemp -d)
+    go run ./cmd/odyssey-sim -figure offload -offload-rung auto:crash > "$offdir/rung.txt"
+    grep -q 'met=true' "$offdir/rung.txt" || {
+        echo "FAIL: crash-rung goal missed under the cost model:" >&2
+        cat "$offdir/rung.txt" >&2; rm -rf "$offdir"; exit 1; }
+    grep -Eq 'fallbacks [1-9]' "$offdir/rung.txt" || {
+        echo "FAIL: crash rung degraded no offloads to local:" >&2
+        cat "$offdir/rung.txt" >&2; rm -rf "$offdir"; exit 1; }
+    go run ./cmd/battery-goal -goal 26m -seed 7 -offload 3 -offload-load 0.5 > "$offdir/a.txt"
+    go run ./cmd/battery-goal -goal 26m -seed 7 -offload 3 -offload-load 0.5 > "$offdir/b.txt"
+    cmp "$offdir/a.txt" "$offdir/b.txt" || {
+        echo "FAIL: armed same-seed offload runs differ" >&2; rm -rf "$offdir"; exit 1; }
+    grep -q 'offload principal' "$offdir/a.txt" || {
+        echo "FAIL: armed run reports no offload principal line" >&2; rm -rf "$offdir"; exit 1; }
+    rm -rf "$offdir"
 
     echo "==> parallel equivalence + warm-cache smoke (fig6, -race)"
     smokedir=$(mktemp -d)
